@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Ablations of ACCORD's design choices (beyond the paper's tables):
+ *
+ *  1. GWS table size: RIT/RLT entries 8..256 vs prediction accuracy —
+ *     the paper claims 64 entries capture most of the benefit (IV-C2).
+ *  2. DCP way bits: writebacks with vs without the probe-elision
+ *     extension (II-B3) — transfer overhead of writeback probes.
+ *  3. SWS alternate-location count k: hit rate vs miss-confirmation
+ *     cost for SWS(8,k) (V-A mentions the k>2 generalization).
+ *  4. Replacement policy in the DRAM cache: LRU's recency state lives
+ *     with the tags in DRAM, so every hit pays an update write —
+ *     footnote 2 reports LRU losing ~9% to update-free random.
+ *  5. Way placement: the paper co-locates all ways of a set in one
+ *     row buffer (Fig 2b / Section VII) so mispredicted second probes
+ *     are row hits; the striped layout ablation quantifies that.
+ *  6. Main-memory technology: the paper's premise (Section II-B) is
+ *     that associativity matters because NVM misses are expensive;
+ *     with conventional DDR below the cache the benefit should shrink.
+ */
+
+#include "bench_common.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+sim::SystemMetrics
+runWith(const std::string &workload, sim::SystemConfig config,
+        const Config &cli)
+{
+    config.workload = workload;
+    config.runTimed = false;
+    sim::applyCliOverrides(config, cli);
+    return sim::runSystem(config);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cli = bench::setup(
+        argc, argv, "Ablations: GWS table size, DCP way bits, SWS k",
+        "design-choice ablations referenced in DESIGN.md");
+
+    const auto workloads = trace::mainWorkloadNames();
+
+    // --- 1. GWS table size ------------------------------------------
+    {
+        TextTable table({"rit/rlt entries", "wp-acc (amean)",
+                         "storage (bytes)"});
+        for (const unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
+            std::vector<double> acc;
+            std::uint64_t storage = 0;
+            for (const auto &workload : workloads) {
+                sim::SystemConfig config =
+                    sim::namedConfig(workload, "2way-pws+gws");
+                config.policyOpts.gwsEntries = entries;
+                const auto m = runWith(workload, config, cli);
+                acc.push_back(m.wpAccuracy);
+                storage = m.policyStorageBits / 8;
+            }
+            table.row()
+                .cell(std::to_string(entries))
+                .percent(amean(acc))
+                .cell(storage);
+        }
+        std::printf("(1) GWS Recent Install/Lookup Table size\n");
+        table.print();
+        std::printf("\n");
+    }
+
+    // --- 2. DCP way bits --------------------------------------------
+    {
+        TextTable table({"writeback routing", "xfers/read (amean)",
+                         "wb probe transfers / wb"});
+        for (const bool dcp : {true, false}) {
+            std::vector<double> xfers, probes;
+            for (const auto &workload : workloads) {
+                sim::SystemConfig config =
+                    sim::namedConfig(workload, "2way-pws+gws");
+                config.dcpWayBits = dcp;
+                const auto m = runWith(workload, config, cli);
+                xfers.push_back(m.transfersPerRead);
+                const auto &s = m.cacheStats;
+                const double wbs =
+                    static_cast<double>(s.writebacksToCache.value()
+                                        + s.writebacksToNvm.value());
+                probes.push_back(
+                    wbs == 0 ? 0.0
+                             : static_cast<double>(
+                                   s.writebackProbeTransfers.value())
+                                 / wbs);
+            }
+            table.row()
+                .cell(dcp ? "DCP + way bits (paper)" : "probe per wb")
+                .cell(amean(xfers), 3)
+                .cell(amean(probes), 2);
+        }
+        std::printf("(2) Writeback probe elision via DCP way bits\n");
+        table.print();
+        std::printf("\n");
+    }
+
+    // --- 3. SWS(8,k) ------------------------------------------------
+    {
+        TextTable table({"design", "hit-rate (amean)",
+                         "miss-confirm probes"});
+        for (const unsigned k : {2u, 3u, 4u, 8u}) {
+            std::vector<double> hits;
+            for (const auto &workload : workloads) {
+                sim::SystemConfig config =
+                    sim::namedConfig(workload, "8way-sws+gws");
+                config.policyOpts.swsK = k;
+                hits.push_back(runWith(workload, config, cli).hitRate);
+            }
+            table.row()
+                .cell("SWS(8," + std::to_string(k) + ")")
+                .percent(amean(hits))
+                .cell(std::to_string(k));
+        }
+        std::printf("(3) SWS alternate-location count\n");
+        table.print();
+        std::printf("\n");
+    }
+
+    // --- 4. LRU vs random replacement in the L4 ---------------------
+    {
+        TextTable table({"replacement", "hit-rate (amean)",
+                         "xfers/read (amean)", "update writes/hit"});
+        for (const char *name : {"2way-serial", "2way-lru"}) {
+            std::vector<double> hits, xfers, updates;
+            for (const auto &workload : workloads) {
+                sim::SystemConfig config =
+                    sim::namedConfig(workload, name);
+                const auto m = runWith(workload, config, cli);
+                hits.push_back(m.hitRate);
+                xfers.push_back(m.transfersPerRead);
+                const auto &s = m.cacheStats;
+                updates.push_back(
+                    s.readHits.hits() == 0
+                        ? 0.0
+                        : static_cast<double>(
+                              s.replacementUpdateWrites.value())
+                            / static_cast<double>(s.readHits.hits()));
+            }
+            table.row()
+                .cell(name == std::string("2way-lru")
+                          ? "LRU (in-DRAM state)"
+                          : "random (update-free)")
+                .percent(amean(hits))
+                .cell(amean(xfers), 3)
+                .cell(amean(updates), 2);
+        }
+        std::printf("(4) DRAM-cache replacement policy (footnote 2)\n");
+        table.print();
+        std::printf("\n");
+    }
+
+    // --- 5. Row-co-located vs striped way placement (timed) ---------
+    {
+        TextTable table({"layout", "speedup vs dm (gmean)",
+                         "row-hit rate"});
+        const std::vector<std::string> subset = {"sphinx", "libq",
+                                                 "wrf", "gcc", "mcf"};
+        for (const auto mode :
+             {dramcache::LayoutMode::RowCoLocated,
+              dramcache::LayoutMode::WayStriped}) {
+            std::vector<double> speedups, row_hits;
+            for (const auto &workload : subset) {
+                sim::SystemConfig base =
+                    sim::baselineConfig(workload);
+                sim::applyCliOverrides(base, cli);
+                const auto dm = sim::runSystem(base);
+
+                sim::SystemConfig config =
+                    sim::namedConfig(workload, "2way-pws+gws");
+                config.layout = mode;
+                sim::applyCliOverrides(config, cli);
+                const auto m = sim::runSystem(config);
+                speedups.push_back(sim::weightedSpeedup(m, dm));
+                row_hits.push_back(m.hbmStats.rowHitRate());
+            }
+            table.row()
+                .cell(mode == dramcache::LayoutMode::RowCoLocated
+                          ? "ways share a row (paper)"
+                          : "ways striped over banks")
+                .cell(geomean(speedups), 3)
+                .percent(amean(row_hits));
+        }
+        std::printf("(5) Way placement in the DRAM array "
+                    "(Section VII claim)\n");
+        table.print();
+        std::printf("\n");
+    }
+
+    // --- 6. NVM vs DDR main memory (timed) --------------------------
+    {
+        TextTable table({"main memory", "accord speedup (gmean)"});
+        const std::vector<std::string> subset = {"libq", "wrf", "gcc",
+                                                 "soplex", "mcf"};
+        for (const bool nvm_mem : {true, false}) {
+            std::vector<double> speedups;
+            for (const auto &workload : subset) {
+                sim::SystemConfig base =
+                    sim::baselineConfig(workload);
+                base.nvmMainMemory = nvm_mem;
+                sim::applyCliOverrides(base, cli);
+                const auto dm = sim::runSystem(base);
+
+                sim::SystemConfig config =
+                    sim::namedConfig(workload, "2way-pws+gws");
+                config.nvmMainMemory = nvm_mem;
+                sim::applyCliOverrides(config, cli);
+                speedups.push_back(
+                    sim::weightedSpeedup(sim::runSystem(config), dm));
+            }
+            table.row()
+                .cell(nvm_mem ? "PCM-class NVM (paper)"
+                              : "conventional DDR")
+                .cell(geomean(speedups), 3);
+        }
+        std::printf("(6) Main-memory technology "
+                    "(Section II-B premise)\n");
+        table.print();
+    }
+
+    cli.checkConsumed();
+    return 0;
+}

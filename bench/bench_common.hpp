@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure-regeneration benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it sweeps the paper's configurations over the calibrated workload
+ * suite and prints the same rows/series the paper reports, plus the
+ * run parameters (scale, seed) needed to reproduce the output.
+ */
+
+#ifndef ACCORD_BENCH_COMMON_HPP
+#define ACCORD_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "trace/workloads.hpp"
+
+namespace accord::bench
+{
+
+/** Parse CLI overrides and print the bench banner. */
+inline Config
+setup(int argc, char **argv, const char *title, const char *paper_ref)
+{
+    Config cli;
+    cli.parseArgs(argc, argv);
+    std::printf("=== %s ===\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("scale=1/%llu seed=%llu (override with key=value args)"
+                "\n\n",
+                static_cast<unsigned long long>(
+                    cli.getUint("scale", 128)),
+                static_cast<unsigned long long>(cli.getUint("seed", 1)));
+    return cli;
+}
+
+/** Run one functional (untimed) configuration. */
+inline sim::SystemMetrics
+runFunctional(const std::string &workload, const std::string &name,
+              const Config &cli)
+{
+    sim::SystemConfig config = sim::namedConfig(workload, name);
+    config.runTimed = false;
+    sim::applyCliOverrides(config, cli);
+    return sim::runSystem(config);
+}
+
+/** Run one timed configuration. */
+inline sim::SystemMetrics
+runTimed(const std::string &workload, const std::string &name,
+         const Config &cli)
+{
+    sim::SystemConfig config = sim::namedConfig(workload, name);
+    config.runTimed = true;
+    sim::applyCliOverrides(config, cli);
+    return sim::runSystem(config);
+}
+
+/**
+ * Timed sweep: for each workload, run the baseline once and every
+ * named configuration, returning speedups[config][workload-index] and
+ * appending "gmean" semantics to the caller.
+ */
+class SpeedupSweep
+{
+  public:
+    SpeedupSweep(std::vector<std::string> workloads,
+                 std::vector<std::string> configs, const Config &cli)
+        : workloads_(std::move(workloads)),
+          configs_(std::move(configs))
+    {
+        for (const auto &workload : workloads_) {
+            sim::SystemConfig base = sim::baselineConfig(workload);
+            sim::applyCliOverrides(base, cli);
+            const sim::SystemMetrics base_metrics =
+                sim::runSystem(base);
+            baselines_.push_back(base_metrics);
+            for (const auto &config : configs_) {
+                const sim::SystemMetrics m =
+                    runTimed(workload, config, cli);
+                speedups_[config].push_back(
+                    sim::weightedSpeedup(m, base_metrics));
+                metrics_[config].push_back(m);
+            }
+        }
+    }
+
+    const std::vector<std::string> &workloads() const
+        { return workloads_; }
+    const std::vector<std::string> &configs() const { return configs_; }
+
+    double
+    speedup(const std::string &config, std::size_t workload) const
+    {
+        return speedups_.at(config).at(workload);
+    }
+
+    double
+    gmean(const std::string &config) const
+    {
+        return geomean(speedups_.at(config));
+    }
+
+    const sim::SystemMetrics &
+    metrics(const std::string &config, std::size_t workload) const
+    {
+        return metrics_.at(config).at(workload);
+    }
+
+    const sim::SystemMetrics &
+    baseline(std::size_t workload) const
+    {
+        return baselines_.at(workload);
+    }
+
+    /** Print the per-workload speedup table plus the gmean row. */
+    void
+    printTable() const
+    {
+        std::vector<std::string> header = {"workload"};
+        for (const auto &config : configs_)
+            header.push_back(config);
+        TextTable table(header);
+        for (std::size_t w = 0; w < workloads_.size(); ++w) {
+            table.row().cell(workloads_[w]);
+            for (const auto &config : configs_)
+                table.cell(speedup(config, w), 3);
+        }
+        table.row().cell("gmean");
+        for (const auto &config : configs_)
+            table.cell(gmean(config), 3);
+        table.print();
+    }
+
+  private:
+    std::vector<std::string> workloads_;
+    std::vector<std::string> configs_;
+    std::vector<sim::SystemMetrics> baselines_;
+    std::map<std::string, std::vector<double>> speedups_;
+    std::map<std::string, std::vector<sim::SystemMetrics>> metrics_;
+};
+
+} // namespace accord::bench
+
+#endif // ACCORD_BENCH_COMMON_HPP

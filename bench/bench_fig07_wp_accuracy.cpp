@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7: way-prediction accuracy of PWS, GWS, and PWS+GWS per
+ * workload on a 2-way cache.
+ *
+ * Expected shape (paper): PWS ~83% everywhere (= PIP); GWS near-ideal
+ * on spatially local workloads (libq, nekbone ~99%) but ~50% on sparse
+ * ones (mcf, pr_twi); PWS+GWS ~90% overall.
+ */
+
+#include "bench_common.hpp"
+
+using namespace accord;
+
+int
+main(int argc, char **argv)
+{
+    const Config cli = bench::setup(
+        argc, argv, "Figure 7: way-prediction accuracy (2-way)",
+        "Fig 7 (accuracy of Rand / PWS / GWS / PWS+GWS per workload)");
+
+    TextTable table(
+        {"workload", "rand", "pws", "gws", "pws+gws"});
+    std::vector<double> rand_acc, pws_acc, gws_acc, both_acc;
+    for (const auto &workload : trace::mainWorkloadNames()) {
+        const double r =
+            bench::runFunctional(workload, "2way-rand", cli).wpAccuracy;
+        const double p =
+            bench::runFunctional(workload, "2way-pws", cli).wpAccuracy;
+        const double g =
+            bench::runFunctional(workload, "2way-gws", cli).wpAccuracy;
+        const double b =
+            bench::runFunctional(workload, "2way-pws+gws", cli)
+                .wpAccuracy;
+        rand_acc.push_back(r);
+        pws_acc.push_back(p);
+        gws_acc.push_back(g);
+        both_acc.push_back(b);
+        table.row().cell(workload).percent(r).percent(p).percent(g)
+            .percent(b);
+    }
+    table.row()
+        .cell("amean")
+        .percent(amean(rand_acc))
+        .percent(amean(pws_acc))
+        .percent(amean(gws_acc))
+        .percent(amean(both_acc));
+    table.print();
+
+    cli.checkConsumed();
+    return 0;
+}

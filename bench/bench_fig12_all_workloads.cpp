@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 12: speedup of ACCORD (2-way and SWS(8,2)) over all 46
+ * workloads, including the ones that are not sensitive to memory or
+ * associativity, sorted as the paper's S-curve.
+ *
+ * Expected shape (paper): ~4%/6% average over all workloads, ~7%/11%
+ * on the mixes, and — crucially — no meaningful degradation on the
+ * insensitive workloads.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace accord;
+
+int
+main(int argc, char **argv)
+{
+    Config cli = bench::setup(
+        argc, argv, "Figure 12: ACCORD across all 46 workloads",
+        "Fig 12 (ACCORD 2-way and SWS(8,2) S-curves)");
+
+    bench::SpeedupSweep sweep(trace::allWorkloadNames(),
+                              {"2way-pws+gws", "8way-sws+gws"}, cli);
+
+    // S-curve: per-config speedups in ascending order.
+    for (const auto &config : sweep.configs()) {
+        std::vector<std::pair<double, std::string>> curve;
+        for (std::size_t w = 0; w < sweep.workloads().size(); ++w)
+            curve.emplace_back(sweep.speedup(config, w),
+                               sweep.workloads()[w]);
+        std::sort(curve.begin(), curve.end());
+
+        std::printf("S-curve for %s (ascending):\n", config.c_str());
+        TextTable table({"rank", "workload", "speedup"});
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            table.row()
+                .cell(static_cast<std::uint64_t>(i + 1))
+                .cell(curve[i].second)
+                .cell(curve[i].first, 3);
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    // Averages: all workloads and the 10 mixes.
+    for (const auto &config : sweep.configs()) {
+        std::vector<double> all, mixes;
+        for (std::size_t w = 0; w < sweep.workloads().size(); ++w) {
+            all.push_back(sweep.speedup(config, w));
+            if (trace::isMix(sweep.workloads()[w]))
+                mixes.push_back(sweep.speedup(config, w));
+        }
+        std::printf("%s: gmean(all 46) = %.3f, gmean(10 mixes) = %.3f\n",
+                    config.c_str(), geomean(all), geomean(mixes));
+    }
+
+    cli.checkConsumed();
+    return 0;
+}

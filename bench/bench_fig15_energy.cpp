@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 15: off-chip memory-system power, energy, and energy-delay
+ * product of ACCORD, normalized to the direct-mapped baseline.
+ *
+ * Expected shape (paper): similar DRAM-cache energy (bandwidth-
+ * efficient lookups), lower main-memory energy (higher hit rate keeps
+ * accesses out of the NVM), ~3% lower total energy and ~14% lower EDP.
+ */
+
+#include "bench_common.hpp"
+
+using namespace accord;
+
+int
+main(int argc, char **argv)
+{
+    const Config cli = bench::setup(
+        argc, argv, "Figure 15: memory-system energy",
+        "Fig 15 (speedup / power / energy / EDP vs direct-mapped)");
+
+    bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
+                              {"2way-pws+gws", "8way-sws+gws"}, cli);
+
+    TextTable table({"config", "speedup", "power", "energy", "EDP",
+                     "cache-energy", "mem-energy"});
+    for (const auto &config : sweep.configs()) {
+        std::vector<double> speedup, power, energy, edp, cache_e, mem_e;
+        for (std::size_t w = 0; w < sweep.workloads().size(); ++w) {
+            const auto &m = sweep.metrics(config, w);
+            const auto &b = sweep.baseline(w);
+            speedup.push_back(sweep.speedup(config, w));
+            power.push_back(m.energy.powerW() / b.energy.powerW());
+            energy.push_back(m.energy.totalJ / b.energy.totalJ);
+            edp.push_back(m.energy.edp() / b.energy.edp());
+            cache_e.push_back(m.energy.cacheEnergyJ
+                              / b.energy.cacheEnergyJ);
+            mem_e.push_back(m.energy.memEnergyJ / b.energy.memEnergyJ);
+        }
+        table.row()
+            .cell(config)
+            .cell(geomean(speedup), 3)
+            .cell(geomean(power), 3)
+            .cell(geomean(energy), 3)
+            .cell(geomean(edp), 3)
+            .cell(geomean(cache_e), 3)
+            .cell(geomean(mem_e), 3);
+    }
+    table.print();
+    std::printf("\n(all values normalized to the direct-mapped "
+                "baseline; <1 is better except speedup)\n");
+
+    cli.checkConsumed();
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulator components:
+ * policy decisions (PWS/GWS/SWS/partial-tag), RegionTable lookups,
+ * TagStore way search, the RNG, and the event queue.  These guard the
+ * simulator's own performance — a full Fig-10 sweep runs hundreds of
+ * millions of these operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.hpp"
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "core/ganged.hpp"
+#include "dramcache/tag_store.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+core::CacheGeometry
+benchGeometry(unsigned ways)
+{
+    core::CacheGeometry geom;
+    geom.ways = ways;
+    geom.sets = (64ULL << 20) / lineSize / ways;
+    return geom;
+}
+
+void
+policyPredictInstall(benchmark::State &state, const char *spec)
+{
+    const auto geom = benchGeometry(2);
+    core::PolicyOptions opts;
+    opts.seed = 42;
+    const auto policy = core::makePolicy(spec, geom, opts);
+    Rng rng(7);
+    for (auto _ : state) {
+        const auto ref =
+            core::LineRef::make(rng.next() & 0xffffffff, geom);
+        benchmark::DoNotOptimize(policy->predict(ref));
+        const unsigned way = policy->install(ref);
+        policy->onInstall(ref, way);
+        benchmark::DoNotOptimize(way);
+    }
+}
+
+void
+BM_PolicyPws(benchmark::State &state)
+{
+    policyPredictInstall(state, "pws");
+}
+
+void
+BM_PolicyPwsGws(benchmark::State &state)
+{
+    policyPredictInstall(state, "pws+gws");
+}
+
+void
+BM_PolicySws(benchmark::State &state)
+{
+    policyPredictInstall(state, "sws");
+}
+
+void
+BM_PolicyPartialTag(benchmark::State &state)
+{
+    policyPredictInstall(state, "ptag");
+}
+
+void
+BM_RegionTableLookup(benchmark::State &state)
+{
+    core::RegionTable table(
+        static_cast<unsigned>(state.range(0)));
+    Rng rng(3);
+    for (unsigned i = 0; i < table.entries(); ++i)
+        table.insert(rng.next() & 0xff, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.lookup(rng.next() & 0xff));
+}
+
+void
+BM_TagStoreFindWay(benchmark::State &state)
+{
+    const auto geom =
+        benchGeometry(static_cast<unsigned>(state.range(0)));
+    dramcache::TagStore tags(geom);
+    Rng rng(5);
+    for (std::uint64_t i = 0; i < geom.lines(); ++i) {
+        const auto ref = core::LineRef::make(rng.next(), geom);
+        tags.install(ref.set, static_cast<unsigned>(i % geom.ways),
+                     ref.tag, false);
+    }
+    for (auto _ : state) {
+        const auto ref = core::LineRef::make(rng.next(), geom);
+        benchmark::DoNotOptimize(tags.findWay(ref.set, ref.tag));
+    }
+}
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1000));
+}
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.scheduleAfter(10, [&sink] { ++sink; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+
+BENCHMARK(BM_PolicyPws);
+BENCHMARK(BM_PolicyPwsGws);
+BENCHMARK(BM_PolicySws);
+BENCHMARK(BM_PolicyPartialTag);
+BENCHMARK(BM_RegionTableLookup)->Arg(64)->Arg(256);
+BENCHMARK(BM_TagStoreFindWay)->Arg(2)->Arg(8);
+BENCHMARK(BM_Rng);
+BENCHMARK(BM_EventQueue);
+
+} // namespace
+
+BENCHMARK_MAIN();

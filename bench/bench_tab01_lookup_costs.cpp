@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Table I: the number of cache accesses and line transfers for looking
+ * up an N-way set-associative DRAM cache, per organization.
+ *
+ * This bench validates the simulator's transfer accounting against the
+ * paper's analytic counts: it builds each organization on a small
+ * cache, fills one set with known lines, and measures the average
+ * transfers for hits (over all resident ways) and for a confirmed
+ * miss.
+ *
+ * Expected (paper): direct-mapped 1/1; parallel N/N; serial (N+1)/2
+ * on hits and N on misses; way-predicted 1 on predicted hits and N on
+ * misses (2 for SWS regardless of N).
+ */
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "dramcache/controller.hpp"
+#include "nvm/nvm_system.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+struct Costs
+{
+    double hitTransfers;
+    double missTransfers;
+};
+
+/** Measure average hit/miss transfer counts for one organization. */
+Costs
+measure(unsigned ways, dramcache::LookupMode lookup,
+        const std::string &policy_spec)
+{
+    EventQueue eq;
+    nvm::NvmSystem nvm(eq);
+
+    dramcache::DramCacheParams params;
+    params.capacityBytes = 1ULL << 20;
+    params.ways = ways;
+    params.lookup = lookup;
+
+    core::CacheGeometry geom;
+    geom.ways = ways;
+    geom.sets = params.capacityBytes / lineSize / ways;
+
+    std::unique_ptr<core::WayPolicy> policy;
+    if (!policy_spec.empty()) {
+        core::PolicyOptions opts;
+        opts.seed = 77;
+        policy = core::makePolicy(policy_spec, geom, opts);
+    }
+
+    dramcache::DramCacheController cache(params, std::move(policy),
+                                         dram::hbmCacheTiming(), eq,
+                                         nvm);
+
+    // Fill one set with `ways` distinct lines (tags 1..ways map to the
+    // same set), retrying until every way holds one of them.
+    const std::uint64_t set = 123;
+    for (int round = 0; round < 64; ++round) {
+        for (unsigned t = 1; t <= ways; ++t)
+            cache.warmRead((static_cast<std::uint64_t>(t) * geom.sets)
+                           | set);
+    }
+
+    // Hits: average transfers over re-reading the resident lines.
+    cache.resetStats();
+    unsigned hits = 0;
+    for (unsigned t = 1; t <= ways; ++t) {
+        const LineAddr line =
+            (static_cast<std::uint64_t>(t) * geom.sets) | set;
+        if (cache.tagStore().findWay(set, t) >= 0) {
+            cache.warmRead(line);
+            ++hits;
+        }
+    }
+    const double hit_transfers = hits == 0
+        ? 0.0
+        : static_cast<double>(cache.stats().cacheReadTransfers.value())
+            / hits;
+
+    // Miss: one access to a line guaranteed absent (fresh tag).
+    cache.resetStats();
+    cache.warmRead((static_cast<std::uint64_t>(999) * geom.sets) | set);
+    const double miss_transfers =
+        static_cast<double>(cache.stats().cacheReadTransfers.value());
+
+    return {hit_transfers, miss_transfers};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cli = bench::setup(
+        argc, argv, "Table I: lookup costs per organization",
+        "Table I (accesses and line transfers on a hit and a miss)");
+
+    TextTable table({"organization", "hit transfers", "miss transfers",
+                     "paper hit", "paper miss"});
+
+    const auto dm = measure(1, dramcache::LookupMode::Serial, "");
+    table.row().cell("direct-mapped").cell(dm.hitTransfers, 2)
+        .cell(dm.missTransfers, 2).cell("1").cell("1");
+
+    for (unsigned n : {2u, 4u, 8u}) {
+        const auto par =
+            measure(n, dramcache::LookupMode::Parallel, "");
+        table.row()
+            .cell("parallel " + std::to_string(n) + "-way")
+            .cell(par.hitTransfers, 2)
+            .cell(par.missTransfers, 2)
+            .cell(std::to_string(n))
+            .cell(std::to_string(n));
+    }
+    for (unsigned n : {2u, 4u, 8u}) {
+        const auto ser = measure(n, dramcache::LookupMode::Serial, "");
+        char expect[16];
+        std::snprintf(expect, sizeof expect, "%.1f", (n + 1) / 2.0);
+        table.row()
+            .cell("serial " + std::to_string(n) + "-way")
+            .cell(ser.hitTransfers, 2)
+            .cell(ser.missTransfers, 2)
+            .cell(expect)
+            .cell(std::to_string(n));
+    }
+    for (unsigned n : {2u, 4u, 8u}) {
+        const auto wp =
+            measure(n, dramcache::LookupMode::Predicted, "perfect");
+        table.row()
+            .cell("way-predicted " + std::to_string(n) + "-way")
+            .cell(wp.hitTransfers, 2)
+            .cell(wp.missTransfers, 2)
+            .cell("1")
+            .cell(std::to_string(n));
+    }
+    for (unsigned n : {4u, 8u}) {
+        const auto sws =
+            measure(n, dramcache::LookupMode::Predicted, "sws");
+        table.row()
+            .cell("SWS(" + std::to_string(n) + ",2) way-predicted")
+            .cell(sws.hitTransfers, 2)
+            .cell(sws.missTransfers, 2)
+            .cell("~1")
+            .cell("2");
+    }
+
+    table.print();
+    cli.checkConsumed();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table II: accuracy and storage of conventional way predictors on a
+ * 4GB DRAM cache at 2/4/8 ways.
+ *
+ * Expected shape (paper): random ~50/25/12.5%; MRU ~86/74/63% with 4MB
+ * of SRAM; 4-bit partial tags ~97/92/81% with 32MB.  Storage is
+ * computed for the FULL 4GB geometry regardless of the run scale.
+ */
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+/** Mean prediction accuracy of a policy over the main workloads. */
+double
+meanAccuracy(const std::string &spec, unsigned ways, const Config &cli)
+{
+    std::vector<double> acc;
+    for (const auto &workload : trace::mainWorkloadNames()) {
+        sim::SystemConfig config = sim::namedConfig(
+            workload, std::to_string(ways) + "way-" + spec);
+        config.runTimed = false;
+        sim::applyCliOverrides(config, cli);
+        acc.push_back(sim::runSystem(config).wpAccuracy);
+    }
+    return amean(acc);
+}
+
+/** SRAM bytes a policy needs on the paper's full 4GB cache. */
+std::uint64_t
+fullScaleStorageBytes(const std::string &spec, unsigned ways)
+{
+    core::CacheGeometry geom;
+    geom.ways = ways;
+    geom.sets = (4ULL << 30) / lineSize / ways;
+    core::PolicyOptions opts;
+    const auto policy = core::makePolicy(spec, geom, opts);
+    return policy->storageBits() / 8;
+}
+
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ULL << 20))
+        std::snprintf(buf, sizeof buf, "%.0fMB",
+                      static_cast<double>(bytes) / (1 << 20));
+    else if (bytes >= 1024)
+        std::snprintf(buf, sizeof buf, "%.0fKB",
+                      static_cast<double>(bytes) / 1024);
+    else
+        std::snprintf(buf, sizeof buf, "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cli = bench::setup(
+        argc, argv, "Table II: conventional way predictors",
+        "Table II (accuracy and storage of Rand/MRU/Partial-Tag on a "
+        "4GB cache)");
+
+    TextTable table({"ways", "rand acc", "mru acc", "ptag acc",
+                     "rand SRAM", "mru SRAM", "ptag SRAM"});
+    for (unsigned ways : {2u, 4u, 8u}) {
+        table.row()
+            .cell(std::to_string(ways) + "-way")
+            .percent(meanAccuracy("rand", ways, cli))
+            .percent(meanAccuracy("mru", ways, cli))
+            .percent(meanAccuracy("ptag", ways, cli))
+            .cell("0B")
+            .cell(humanBytes(fullScaleStorageBytes("mru", ways)))
+            .cell(humanBytes(fullScaleStorageBytes("ptag", ways)));
+    }
+    table.print();
+
+    cli.checkConsumed();
+    return 0;
+}

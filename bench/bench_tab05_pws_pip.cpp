@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table V: hit rate, way-prediction accuracy, and speedup of PWS as a
+ * function of the preferred-way install probability (PIP).
+ *
+ * Expected shape (paper): hit rate nearly flat through PIP=85% then
+ * collapses to direct-mapped at 100%; accuracy tracks PIP; speedup
+ * peaks around PIP=85%.
+ */
+
+#include "bench_common.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+sim::SystemConfig
+pwsConfig(const std::string &workload, double pip, const Config &cli)
+{
+    sim::SystemConfig config = sim::namedConfig(workload, "2way-pws");
+    config.policyOpts.pip = pip;
+    sim::applyCliOverrides(config, cli);
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cli = bench::setup(
+        argc, argv, "Table V: PWS sensitivity to PIP",
+        "Table V (hit rate / WP accuracy / speedup vs PIP)");
+
+    const auto workloads = trace::mainWorkloadNames();
+
+    // Baselines (timed) once per workload.
+    std::vector<sim::SystemMetrics> baselines;
+    for (const auto &workload : workloads) {
+        sim::SystemConfig base = sim::baselineConfig(workload);
+        sim::applyCliOverrides(base, cli);
+        baselines.push_back(sim::runSystem(base));
+    }
+
+    TextTable table({"organization", "hit-rate", "wp-acc", "speedup"});
+    for (const double pip : {0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 1.00}) {
+        std::vector<double> hits, accs, speedups;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            // Functional pass for stable hit/accuracy numbers.
+            sim::SystemConfig fconfig =
+                pwsConfig(workloads[w], pip, cli);
+            fconfig.runTimed = false;
+            const auto fm = sim::runSystem(fconfig);
+            hits.push_back(fm.hitRate);
+            accs.push_back(fm.wpAccuracy);
+
+            // Timed pass for the speedup.
+            const auto tm =
+                sim::runSystem(pwsConfig(workloads[w], pip, cli));
+            speedups.push_back(
+                sim::weightedSpeedup(tm, baselines[w]));
+        }
+        char label[48];
+        if (pip >= 1.0)
+            std::snprintf(label, sizeof label,
+                          "direct-mapped (PIP=100%%)");
+        else
+            std::snprintf(label, sizeof label, "2-way PWS (PIP=%.0f%%)",
+                          pip * 100);
+        table.row()
+            .cell(label)
+            .percent(amean(hits))
+            .percent(amean(accs))
+            .cell(geomean(speedups), 3);
+    }
+    table.print();
+
+    cli.checkConsumed();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Capacity-planning study: how much stacked-DRAM cache does a hybrid
+ * HBM+NVM memory system need, and how much does ACCORD's associativity
+ * buy at each size?
+ *
+ * Sweeps the (full-scale) cache size from 1GB to 8GB for a chosen
+ * workload and prints hit rate, average read latency, and the speedup
+ * of ACCORD SWS(8,2) over the direct-mapped design of the same size —
+ * the trade a system architect actually evaluates (cf. paper Table
+ * VIII).
+ *
+ * Usage: capacity_planner [workload=mix2] [scale=128] ...
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+using namespace accord;
+
+int
+main(int argc, char **argv)
+{
+    Config cli;
+    cli.parseArgs(argc, argv);
+    const std::string workload = cli.getString("workload", "mix2");
+
+    std::printf("capacity planning for workload '%s'\n\n",
+                workload.c_str());
+
+    TextTable table({"cache size", "dm hit", "accord hit",
+                     "dm read lat", "accord read lat",
+                     "accord speedup"});
+    for (const std::uint64_t gb : {1ULL, 2ULL, 4ULL, 8ULL}) {
+        sim::SystemConfig base = sim::baselineConfig(workload);
+        sim::applyCliOverrides(base, cli);
+        base.fullCacheBytes = gb << 30;
+        const auto dm = sim::runSystem(base);
+
+        sim::SystemConfig accord =
+            sim::namedConfig(workload, "8way-sws+gws");
+        sim::applyCliOverrides(accord, cli);
+        accord.fullCacheBytes = gb << 30;
+        const auto m = sim::runSystem(accord);
+
+        auto read_latency = [](const sim::SystemMetrics &metrics) {
+            const auto &s = metrics.cacheStats;
+            const double hit = s.readHits.rate();
+            return hit * s.readHitLatency.mean()
+                + (1.0 - hit) * s.readMissLatency.mean();
+        };
+
+        table.row()
+            .cell(std::to_string(gb) + "GB")
+            .percent(dm.hitRate)
+            .percent(m.hitRate)
+            .cell(read_latency(dm), 0)
+            .cell(read_latency(m), 0)
+            .cell(sim::weightedSpeedup(m, dm), 3);
+    }
+    table.print();
+    std::printf("\n(latencies in CPU cycles at 3 GHz; sizes are "
+                "full-scale equivalents, simulated at 1/scale)\n");
+
+    cli.checkConsumed();
+    return 0;
+}

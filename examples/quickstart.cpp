@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: compare the direct-mapped DRAM cache against 2-way
+ * ACCORD (PWS+GWS) on one workload and print the headline metrics.
+ *
+ * Usage: quickstart [workload=libq] [scale=64] [timed=6000] ...
+ * (key=value overrides; see sim::applyCliOverrides)
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+using namespace accord;
+
+int
+main(int argc, char **argv)
+{
+    Config cli;
+    cli.parseArgs(argc, argv);
+    const std::string workload = cli.getString("workload", "libq");
+
+    auto run = [&](const std::string &name) {
+        sim::SystemConfig config = sim::namedConfig(workload, name);
+        sim::applyCliOverrides(config, cli);
+        return sim::runSystem(config);
+    };
+
+    std::printf("workload: %s\n\n", workload.c_str());
+
+    const sim::SystemMetrics dm = run("dm");
+    const sim::SystemMetrics accord2 = run("2way-pws+gws");
+
+    TextTable table({"config", "hit-rate", "wp-acc", "xfers/read",
+                     "speedup", "sram-bytes"});
+    table.row()
+        .cell("direct-mapped")
+        .percent(dm.hitRate)
+        .cell("n/a")
+        .cell(dm.transfersPerRead, 2)
+        .cell(1.0, 3)
+        .cell(std::uint64_t{0});
+    table.row()
+        .cell("ACCORD 2-way (PWS+GWS)")
+        .percent(accord2.hitRate)
+        .percent(accord2.wpAccuracy)
+        .cell(accord2.transfersPerRead, 2)
+        .cell(sim::weightedSpeedup(accord2, dm), 3)
+        .cell(accord2.policyStorageBits / 8);
+    table.print();
+
+    cli.checkConsumed();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload atlas: characterize every main-evaluation workload on the
+ * functional model — hit rate at 1/2/4/8 ways, associativity
+ * sensitivity, and GWS/PWS prediction accuracy.  Useful both as a
+ * regression view of the synthetic workload models and as a template
+ * for characterizing your own access streams.
+ *
+ * Usage: workload_atlas [scale=64] [measure=30000] [all=1]
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "trace/workloads.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+sim::SystemMetrics
+runFunctional(const std::string &workload, const std::string &name,
+              const Config &cli)
+{
+    sim::SystemConfig config = sim::namedConfig(workload, name);
+    config.runTimed = false;
+    sim::applyCliOverrides(config, cli);
+    return sim::runSystem(config);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cli;
+    cli.parseArgs(argc, argv);
+
+    const auto names = cli.getBool("all", false)
+        ? trace::allWorkloadNames()
+        : trace::mainWorkloadNames();
+
+    TextTable table({"workload", "dm", "2way", "4way", "8way",
+                     "assoc-gain", "pws-acc", "gws-acc", "accord-acc"});
+
+    std::vector<double> dm_rates, w8_rates;
+    for (const auto &workload : names) {
+        const auto dm = runFunctional(workload, "dm", cli);
+        const auto w2 = runFunctional(workload, "2way-rand", cli);
+        const auto w4 = runFunctional(workload, "4way-rand", cli);
+        const auto w8 = runFunctional(workload, "8way-rand", cli);
+        const auto pws = runFunctional(workload, "2way-pws", cli);
+        const auto gws = runFunctional(workload, "2way-gws", cli);
+        const auto acc = runFunctional(workload, "2way-pws+gws", cli);
+
+        dm_rates.push_back(dm.hitRate);
+        w8_rates.push_back(w8.hitRate);
+
+        table.row()
+            .cell(workload)
+            .percent(dm.hitRate)
+            .percent(w2.hitRate)
+            .percent(w4.hitRate)
+            .percent(w8.hitRate)
+            .percent(w8.hitRate - dm.hitRate)
+            .percent(pws.wpAccuracy)
+            .percent(gws.wpAccuracy)
+            .percent(acc.wpAccuracy);
+    }
+    table.row()
+        .cell("amean")
+        .percent(amean(dm_rates))
+        .cell("")
+        .cell("")
+        .percent(amean(w8_rates))
+        .percent(amean(w8_rates) - amean(dm_rates))
+        .cell("")
+        .cell("")
+        .cell("");
+    table.print();
+
+    cli.checkConsumed();
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "cache/hierarchy.hpp"
+
+namespace accord::cache
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : l1_(params.l1), l2_(params.l2), l3_(params.l3)
+{
+}
+
+FilterResult
+Hierarchy::access(LineAddr line, bool is_write)
+{
+    FilterResult result;
+    const AccessType type =
+        is_write ? AccessType::Write : AccessType::Read;
+
+    // L1.
+    const SramAccessResult r1 = l1_.access(line, type);
+    if (r1.evictedValid && r1.evictedDirty) {
+        // Dirty L1 victim flows into L2 as a writeback.
+        const SramAccessResult wb =
+            l2_.access(r1.evictedLine, AccessType::Writeback);
+        if (wb.evictedValid && wb.evictedDirty) {
+            const SramAccessResult wb3 =
+                l3_.access(wb.evictedLine, AccessType::Writeback);
+            if (wb3.evictedValid && wb3.evictedDirty)
+                result.toL4.push_back({wb3.evictedLine,
+                                       AccessType::Writeback,
+                                       wb3.evictedMeta});
+        }
+    }
+    if (r1.hit) {
+        result.hitLevel = 1;
+        return result;
+    }
+
+    // L2 (the L1 fill allocates here too on miss: inclusive-ish).
+    const SramAccessResult r2 = l2_.access(line, AccessType::Read);
+    if (r2.evictedValid && r2.evictedDirty) {
+        const SramAccessResult wb3 =
+            l3_.access(r2.evictedLine, AccessType::Writeback);
+        if (wb3.evictedValid && wb3.evictedDirty)
+            result.toL4.push_back({wb3.evictedLine,
+                                   AccessType::Writeback,
+                                   wb3.evictedMeta});
+    }
+    if (r2.hit) {
+        result.hitLevel = 2;
+        return result;
+    }
+
+    // L3.
+    const SramAccessResult r3 = l3_.access(line, AccessType::Read);
+    if (r3.evictedValid && r3.evictedDirty)
+        result.toL4.push_back({r3.evictedLine, AccessType::Writeback,
+                               r3.evictedMeta});
+    if (r3.hit) {
+        result.hitLevel = 3;
+        return result;
+    }
+
+    // Missed all SRAM levels: demand fill from the L4.
+    result.hitLevel = 4;
+    result.toL4.push_back({line, AccessType::Read, 0});
+    return result;
+}
+
+} // namespace accord::cache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional on-chip cache hierarchy (L1 -> L2 -> L3).
+ *
+ * The hierarchy filters a core's access stream and produces the traffic
+ * that reaches the DRAM cache: demand fills on L3 misses and writebacks
+ * on dirty L3 evictions.  Hit timing is a fixed per-level cost charged
+ * by the core model; only the L4-bound transactions are timed in the
+ * memory system.
+ */
+
+#ifndef ACCORD_CACHE_HIERARCHY_HPP
+#define ACCORD_CACHE_HIERARCHY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/sram_cache.hpp"
+#include "common/types.hpp"
+
+namespace accord::cache
+{
+
+/** Parameters of the three on-chip levels (paper Table III). */
+struct HierarchyParams
+{
+    SramCacheParams l1{"l1", 32 * 1024, 8, "lru", 11};
+    SramCacheParams l2{"l2", 256 * 1024, 8, "lru", 12};
+    SramCacheParams l3{"l3", 8 * 1024 * 1024, 16, "srrip", 13};
+};
+
+/** One transaction the hierarchy sends to the DRAM cache. */
+struct L4Transaction
+{
+    LineAddr line = 0;
+    AccessType type = AccessType::Read;
+
+    /** DCP metadata carried by an L3 victim (writebacks only). */
+    std::uint16_t dcpMeta = 0;
+};
+
+/** Result of filtering one core access through L1/L2/L3. */
+struct FilterResult
+{
+    /** 1, 2, 3 = hit level; 4 = missed all SRAM levels. */
+    unsigned hitLevel = 4;
+
+    /** Transactions bound for the L4 (demand miss and/or writebacks). */
+    std::vector<L4Transaction> toL4;
+};
+
+/** Three-level functional cache hierarchy for one core. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params);
+
+    /** Filter one demand access (read or write). */
+    FilterResult access(LineAddr line, bool is_write);
+
+    SramCache &l1() { return l1_; }
+    SramCache &l2() { return l2_; }
+    SramCache &l3() { return l3_; }
+    const SramCache &l3() const { return l3_; }
+
+    /** L3 misses per demand access so far. */
+    double l3MissRate() const { return 1.0 - l3_.hitRatio().rate(); }
+
+  private:
+    SramCache l1_;
+    SramCache l2_;
+    SramCache l3_;
+};
+
+} // namespace accord::cache
+
+#endif // ACCORD_CACHE_HIERARCHY_HPP

@@ -1,0 +1,113 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace accord::cache
+{
+
+LruPolicy::LruPolicy(std::uint64_t num_sets, unsigned num_ways)
+    : num_ways(num_ways), stamps(num_sets * num_ways, 0)
+{
+}
+
+void
+LruPolicy::stamp(std::uint64_t set, unsigned way)
+{
+    stamps[set * num_ways + way] = next_stamp++;
+}
+
+void
+LruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    stamp(set, way);
+}
+
+void
+LruPolicy::fill(std::uint64_t set, unsigned way)
+{
+    stamp(set, way);
+}
+
+unsigned
+LruPolicy::victim(std::uint64_t set, std::uint64_t valid_mask)
+{
+    unsigned best = 0;
+    std::uint64_t best_stamp = ~std::uint64_t{0};
+    for (unsigned way = 0; way < num_ways; ++way) {
+        if (!(valid_mask & (std::uint64_t{1} << way)))
+            return way;     // always prefer an invalid way
+        const std::uint64_t s = stamps[set * num_ways + way];
+        if (s < best_stamp) {
+            best_stamp = s;
+            best = way;
+        }
+    }
+    return best;
+}
+
+RandomPolicy::RandomPolicy(unsigned num_ways, std::uint64_t seed)
+    : num_ways(num_ways), rng(seed)
+{
+}
+
+unsigned
+RandomPolicy::victim(std::uint64_t, std::uint64_t valid_mask)
+{
+    for (unsigned way = 0; way < num_ways; ++way) {
+        if (!(valid_mask & (std::uint64_t{1} << way)))
+            return way;
+    }
+    return static_cast<unsigned>(rng.below(num_ways));
+}
+
+SrripPolicy::SrripPolicy(std::uint64_t num_sets, unsigned num_ways)
+    : num_ways(num_ways), rrpv(num_sets * num_ways, maxRrpv)
+{
+}
+
+void
+SrripPolicy::touch(std::uint64_t set, unsigned way)
+{
+    rrpv[set * num_ways + way] = 0;     // hit promotion (SRRIP-HP)
+}
+
+void
+SrripPolicy::fill(std::uint64_t set, unsigned way)
+{
+    rrpv[set * num_ways + way] = maxRrpv - 1;   // long re-reference
+}
+
+unsigned
+SrripPolicy::victim(std::uint64_t set, std::uint64_t valid_mask)
+{
+    for (unsigned way = 0; way < num_ways; ++way) {
+        if (!(valid_mask & (std::uint64_t{1} << way)))
+            return way;
+    }
+    // Find an RRPV == max way, aging everyone until one appears.
+    for (;;) {
+        for (unsigned way = 0; way < num_ways; ++way) {
+            if (rrpv[set * num_ways + way] == maxRrpv)
+                return way;
+        }
+        for (unsigned way = 0; way < num_ways; ++way)
+            ++rrpv[set * num_ways + way];
+    }
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(const std::string &name, std::uint64_t num_sets,
+                unsigned num_ways, std::uint64_t seed)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>(num_sets, num_ways);
+    if (name == "random")
+        return std::make_unique<RandomPolicy>(num_ways, seed);
+    if (name == "srrip")
+        return std::make_unique<SrripPolicy>(num_sets, num_ways);
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+} // namespace accord::cache

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Replacement policies for set-associative SRAM caches.
+ *
+ * Policies are stateful per set; the cache calls touch()/fill() on hits
+ * and installs and victim() when it needs a way to evict.  The DRAM
+ * cache deliberately does NOT use these (it uses update-free random
+ * replacement / way steering, Section II-B4); these serve the on-chip
+ * L1/L2/L3 and the LRU-in-DRAM ablation.
+ */
+
+#ifndef ACCORD_CACHE_REPLACEMENT_HPP
+#define ACCORD_CACHE_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace accord::cache
+{
+
+/** Per-set replacement state and victim selection. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Called on a hit to the given way. */
+    virtual void touch(std::uint64_t set, unsigned way) = 0;
+
+    /** Called when a line is installed into the given way. */
+    virtual void fill(std::uint64_t set, unsigned way) = 0;
+
+    /**
+     * Pick a victim way.  @param valid_mask bit i set iff way i holds a
+     * valid line; policies must prefer invalid ways.
+     */
+    virtual unsigned victim(std::uint64_t set,
+                            std::uint64_t valid_mask) = 0;
+
+    /** Policy name for stat dumps. */
+    virtual std::string name() const = 0;
+};
+
+/** True LRU via per-set recency stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint64_t num_sets, unsigned num_ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    void fill(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, std::uint64_t valid_mask) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    void stamp(std::uint64_t set, unsigned way);
+
+    unsigned num_ways;
+    std::uint64_t next_stamp = 1;
+    std::vector<std::uint64_t> stamps;  // [set * ways + way]
+};
+
+/** Update-free random replacement. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(unsigned num_ways, std::uint64_t seed);
+
+    void touch(std::uint64_t, unsigned) override {}
+    void fill(std::uint64_t, unsigned) override {}
+    unsigned victim(std::uint64_t set, std::uint64_t valid_mask) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    unsigned num_ways;
+    Rng rng;
+};
+
+/** Static re-reference interval prediction (SRRIP-HP, 2-bit). */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    SrripPolicy(std::uint64_t num_sets, unsigned num_ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    void fill(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set, std::uint64_t valid_mask) override;
+    std::string name() const override { return "srrip"; }
+
+  private:
+    static constexpr std::uint8_t maxRrpv = 3;
+
+    unsigned num_ways;
+    std::vector<std::uint8_t> rrpv;  // [set * ways + way]
+};
+
+/** Factory by name ("lru", "random", "srrip"); fatal() on unknown. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(const std::string &name, std::uint64_t num_sets,
+                unsigned num_ways, std::uint64_t seed);
+
+} // namespace accord::cache
+
+#endif // ACCORD_CACHE_REPLACEMENT_HPP

@@ -1,0 +1,131 @@
+#include "cache/sram_cache.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::cache
+{
+
+SramCache::SramCache(const SramCacheParams &params)
+    : params_(params), num_sets(params.numSets())
+{
+    if (num_sets == 0 || !isPow2(num_sets))
+        fatal("%s: set count %llu must be a nonzero power of two",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(num_sets));
+    if (params_.ways == 0 || params_.ways > 64)
+        fatal("%s: unsupported way count %u", params_.name.c_str(),
+              params_.ways);
+    set_mask = num_sets - 1;
+    lines.resize(num_sets * params_.ways);
+    repl = makeReplacement(params_.replacement, num_sets, params_.ways,
+                           params_.seed);
+}
+
+SramCache::Line *
+SramCache::find(LineAddr line)
+{
+    const std::uint64_t set = setOf(line);
+    for (unsigned way = 0; way < params_.ways; ++way) {
+        Line &e = entry(set, way);
+        if (e.valid && e.tag == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+const SramCache::Line *
+SramCache::find(LineAddr line) const
+{
+    return const_cast<SramCache *>(this)->find(line);
+}
+
+SramAccessResult
+SramCache::access(LineAddr line, AccessType type)
+{
+    SramAccessResult result;
+    const std::uint64_t set = setOf(line);
+
+    if (Line *e = find(line)) {
+        result.hit = true;
+        result.way = static_cast<unsigned>(e - &entry(set, 0));
+        if (type != AccessType::Read)
+            e->dirty = true;
+        repl->touch(set, result.way);
+        hits_.hit();
+        return result;
+    }
+
+    hits_.miss();
+
+    std::uint64_t valid_mask = 0;
+    for (unsigned way = 0; way < params_.ways; ++way) {
+        if (entry(set, way).valid)
+            valid_mask |= std::uint64_t{1} << way;
+    }
+
+    const unsigned way = repl->victim(set, valid_mask);
+    ACCORD_ASSERT(way < params_.ways, "victim way out of range");
+    Line &e = entry(set, way);
+
+    if (e.valid) {
+        result.evictedValid = true;
+        result.evictedDirty = e.dirty;
+        result.evictedLine = e.tag;
+        result.evictedMeta = e.meta;
+    }
+
+    e.valid = true;
+    e.tag = line;
+    e.dirty = (type != AccessType::Read);
+    e.meta = 0;
+    repl->fill(set, way);
+    result.way = way;
+    return result;
+}
+
+bool
+SramCache::probe(LineAddr line) const
+{
+    return find(line) != nullptr;
+}
+
+std::optional<bool>
+SramCache::invalidate(LineAddr line)
+{
+    if (Line *e = find(line)) {
+        const bool dirty = e->dirty;
+        e->valid = false;
+        e->dirty = false;
+        e->meta = 0;
+        return dirty;
+    }
+    return std::nullopt;
+}
+
+std::uint16_t
+SramCache::metadata(LineAddr line) const
+{
+    const Line *e = find(line);
+    ACCORD_ASSERT(e, "metadata() on absent line");
+    return e->meta;
+}
+
+void
+SramCache::setMetadata(LineAddr line, std::uint16_t value)
+{
+    Line *e = find(line);
+    ACCORD_ASSERT(e, "setMetadata() on absent line");
+    e->meta = value;
+}
+
+std::uint64_t
+SramCache::validLines() const
+{
+    std::uint64_t count = 0;
+    for (const Line &e : lines)
+        count += e.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace accord::cache

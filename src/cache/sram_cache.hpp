@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Generic set-associative SRAM cache (functional model).
+ *
+ * Used for the on-chip L1/L2/L3 levels.  The model tracks tags, dirty
+ * bits, and 16 bits of per-line user metadata; the L3 uses the metadata
+ * to hold the DRAM-Cache-Presence (DCP) bit plus the resident-way hint
+ * that lets writebacks skip the L4 probe (paper Section II-B3).
+ *
+ * Timing is not modeled here: the system model charges fixed hit
+ * latencies per level, and only L3 misses reach the timed L4/NVM.
+ */
+
+#ifndef ACCORD_CACHE_SRAM_CACHE_HPP
+#define ACCORD_CACHE_SRAM_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace accord::cache
+{
+
+/** Geometry and policy of one SRAM cache level. */
+struct SramCacheParams
+{
+    std::string name = "cache";
+    std::uint64_t capacityBytes = 32 * 1024;
+    unsigned ways = 8;
+    std::string replacement = "lru";
+    std::uint64_t seed = 1;
+
+    std::uint64_t numSets() const
+        { return capacityBytes / lineSize / ways; }
+};
+
+/** Result of one cache access. */
+struct SramAccessResult
+{
+    /** True if the line was present. */
+    bool hit = false;
+
+    /** Way the line resides in (valid for hits and after fills). */
+    unsigned way = 0;
+
+    /** A valid line was evicted to make room. */
+    bool evictedValid = false;
+
+    /** The evicted line was dirty (must be written back below). */
+    bool evictedDirty = false;
+
+    /** Address of the evicted line (valid if evictedValid). */
+    LineAddr evictedLine = 0;
+
+    /** User metadata of the evicted line. */
+    std::uint16_t evictedMeta = 0;
+};
+
+/** A set-associative, write-back, write-allocate SRAM cache. */
+class SramCache
+{
+  public:
+    explicit SramCache(const SramCacheParams &params);
+
+    /**
+     * Perform a demand access; on miss, allocates the line (evicting a
+     * victim chosen by the replacement policy).
+     *
+     * @param line line address
+     * @param type Read, Write (marks dirty), or Writeback (marks dirty;
+     *             misses allocate, modeling an inclusive-ish hierarchy)
+     */
+    SramAccessResult access(LineAddr line, AccessType type);
+
+    /** Non-allocating presence check. */
+    bool probe(LineAddr line) const;
+
+    /** Drop the line if present; returns its dirtiness. */
+    std::optional<bool> invalidate(LineAddr line);
+
+    /** Read per-line user metadata; line must be present. */
+    std::uint16_t metadata(LineAddr line) const;
+
+    /** Write per-line user metadata; line must be present. */
+    void setMetadata(LineAddr line, std::uint16_t value);
+
+    /** Number of valid lines (for tests). */
+    std::uint64_t validLines() const;
+
+    const SramCacheParams &params() const { return params_; }
+    const Ratio &hitRatio() const { return hits_; }
+    std::uint64_t numSets() const { return num_sets; }
+
+  private:
+    struct Line
+    {
+        LineAddr tag = 0;   // full line address; simple and unambiguous
+        bool valid = false;
+        bool dirty = false;
+        std::uint16_t meta = 0;
+    };
+
+    std::uint64_t setOf(LineAddr line) const { return line & set_mask; }
+    Line *find(LineAddr line);
+    const Line *find(LineAddr line) const;
+    Line &entry(std::uint64_t set, unsigned way)
+        { return lines[set * params_.ways + way]; }
+    const Line &entry(std::uint64_t set, unsigned way) const
+        { return lines[set * params_.ways + way]; }
+
+    SramCacheParams params_;
+    std::uint64_t num_sets;
+    std::uint64_t set_mask;
+    std::vector<Line> lines;
+    std::unique_ptr<ReplacementPolicy> repl;
+    Ratio hits_;
+};
+
+} // namespace accord::cache
+
+#endif // ACCORD_CACHE_SRAM_CACHE_HPP

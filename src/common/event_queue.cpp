@@ -1,0 +1,35 @@
+#include "common/event_queue.hpp"
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+void
+EventQueue::scheduleAt(Cycle when, Callback callback)
+{
+    ACCORD_ASSERT(when >= now_,
+                  "event scheduled in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    events.push(Event{when, next_seq++, std::move(callback)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() immediately discards the slot.
+    auto &top = const_cast<Event &>(events.top());
+    const Cycle when = top.when;
+    Callback callback = std::move(top.callback);
+    events.pop();
+    now_ = when;
+    ++executed_;
+    callback();
+    return true;
+}
+
+} // namespace accord

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Global discrete-event scheduler.
+ *
+ * All timed components (DRAM channels, NVM channels, cores, the DRAM
+ * cache controller) share one EventQueue and schedule callbacks at
+ * absolute cycle times.  Events at the same cycle run in scheduling
+ * order (FIFO), which keeps runs deterministic.
+ */
+
+#ifndef ACCORD_COMMON_EVENT_QUEUE_HPP
+#define ACCORD_COMMON_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace accord
+{
+
+/** Discrete-event queue in the CPU cycle domain. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Cycle now() const { return now_; }
+
+    /** Schedule a callback at an absolute cycle (>= now). */
+    void scheduleAt(Cycle when, Callback callback);
+
+    /** Schedule a callback delay cycles from now. */
+    void scheduleAfter(Cycle delay, Callback callback)
+    {
+        scheduleAt(now_ + delay, std::move(callback));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /** Run a single event; returns false if the queue was empty. */
+    bool step();
+
+    /**
+     * Run events until the queue drains or the predicate returns true.
+     * The predicate is checked between events.
+     */
+    template <typename Pred>
+    void
+    runUntil(Pred done)
+    {
+        while (!done() && step()) {
+        }
+    }
+
+    /** Run all events to completion. */
+    void
+    run()
+    {
+        while (step()) {
+        }
+    }
+
+    /** Total events executed (for perf sanity checks). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Cycle now_ = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_EVENT_QUEUE_HPP

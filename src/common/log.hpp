@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error reporting helpers, modeled on gem5's panic()/fatal() split.
+ *
+ * panic() marks simulator bugs ("should never happen"); fatal() marks
+ * user errors such as inconsistent configuration.  Both accept
+ * printf-style formatting.
+ */
+
+#ifndef ACCORD_COMMON_LOG_HPP
+#define ACCORD_COMMON_LOG_HPP
+
+#include <cstdarg>
+
+namespace accord
+{
+
+/** Abort with a message: a simulator bug was detected. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: the configuration or input is invalid. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning on stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message on stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Backend of ACCORD_ASSERT; aborts with condition + context. */
+[[noreturn]] void assertFail(const char *cond, const char *file,
+                             int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** panic() with a message unless the condition holds. */
+#define ACCORD_ASSERT(cond, ...)                                         \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::accord::assertFail(#cond, __FILE__, __LINE__,              \
+                                 __VA_ARGS__);                           \
+    } while (0)
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_LOG_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in the simulator (probabilistic way
+ * steering, random replacement, synthetic traces) draws from an
+ * explicitly seeded Rng instance so that runs are reproducible and
+ * tests can assert exact outcomes.  The generator is xoshiro256**,
+ * seeded via SplitMix64 as its authors recommend.
+ */
+
+#ifndef ACCORD_COMMON_RNG_HPP
+#define ACCORD_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace accord
+{
+
+/** xoshiro256** pseudo-random generator with convenience helpers. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        // SplitMix64 stream expands the seed into the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            word = mix64(x);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded sampling (without the
+        // rejection loop; the bias is < 2^-64 * bound, irrelevant here).
+        const std::uint64_t x = next();
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial: true with the given probability. */
+    bool
+    chance(double probability)
+    {
+        return uniform() < probability;
+    }
+
+    /** Fork a statistically independent child stream. */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state{};
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_RNG_HPP

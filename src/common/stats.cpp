@@ -1,0 +1,111 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+void
+Average::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Average::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Histogram::Histogram(unsigned num_buckets, std::uint64_t width)
+    : buckets_(num_buckets, 0), width_(width)
+{
+    ACCORD_ASSERT(num_buckets > 0 && width > 0,
+                  "histogram shape must be non-empty");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    const std::uint64_t index =
+        std::min<std::uint64_t>(value / width_, buckets_.size() - 1);
+    ++buckets_[index];
+    ++count_;
+    sum_ += static_cast<double>(value);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (i + 1) * width_ - 1;
+    }
+    return buckets_.size() * width_ - 1;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values) {
+        ACCORD_ASSERT(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace accord

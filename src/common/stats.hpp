@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Components own Counter/Ratio/Histogram members and register them in a
+ * StatSet for dumping.  Nothing here allocates on the hot path.
+ */
+
+#ifndef ACCORD_COMMON_STATS_HPP
+#define ACCORD_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accord
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t amount = 1) { count_ += amount; }
+    void reset() { count_ = 0; }
+    std::uint64_t value() const { return count_; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Hit/total style ratio; avoids divide-by-zero on empty runs. */
+class Ratio
+{
+  public:
+    void hit() { ++hits_; ++total_; }
+    void miss() { ++total_; }
+    void add(bool was_hit) { was_hit ? hit() : miss(); }
+    void reset() { hits_ = 0; total_ = 0; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return total_ - hits_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of hits in [0,1]; 0 when empty. */
+    double
+    rate() const
+    {
+        return total_ == 0
+            ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total_);
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Running mean/min/max of a scalar sample stream. */
+class Average
+{
+  public:
+    void sample(double value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram with saturating overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param num_buckets bucket count; @param width per-bucket width. */
+    Histogram(unsigned num_buckets, std::uint64_t width);
+
+    void sample(std::uint64_t value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const
+        { return static_cast<unsigned>(buckets_.size()); }
+    double mean() const;
+
+    /** Smallest value v such that at least fraction of samples are <= v. */
+    std::uint64_t percentile(double fraction) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t width_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean of a set of positive values (e.g. per-workload speedups). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 when empty. */
+double amean(const std::vector<double> &values);
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_STATS_HPP

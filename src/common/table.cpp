@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    ACCORD_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    ACCORD_ASSERT(!rows_.empty(), "call row() before cell()");
+    ACCORD_ASSERT(rows_.back().size() < header_.size(),
+                  "too many cells in row");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+TextTable &
+TextTable::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+    return cell(std::string(buf));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            out << (c == 0 ? "" : "  ");
+            out << text;
+            out << std::string(widths[c] - text.size(), ' ');
+        }
+        out << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace accord

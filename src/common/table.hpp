@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure; TextTable keeps the output aligned and diff-friendly.
+ */
+
+#ifndef ACCORD_COMMON_TABLE_HPP
+#define ACCORD_COMMON_TABLE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accord
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Start a new row. */
+    TextTable &row();
+
+    /** Append a cell to the current row. */
+    TextTable &cell(const std::string &text);
+    TextTable &cell(const char *text) { return cell(std::string(text)); }
+    TextTable &cell(std::uint64_t value);
+    TextTable &cell(std::int64_t value);
+    TextTable &cell(int value) { return cell(std::int64_t{value}); }
+    TextTable &cell(unsigned value) { return cell(std::uint64_t{value}); }
+
+    /** Append a floating-point cell with fixed precision. */
+    TextTable &cell(double value, int precision = 3);
+
+    /** Append a percentage cell ("74.2%"). */
+    TextTable &percent(double fraction, int precision = 1);
+
+    /** Render the table (header + separator + rows). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_TABLE_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and constants.
+ *
+ * Everything in the simulator is expressed in terms of 64-byte cache
+ * lines and CPU cycles.  Memory-side components convert to their own
+ * clock domains internally (see dram/timing.hpp).
+ */
+
+#ifndef ACCORD_COMMON_TYPES_HPP
+#define ACCORD_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace accord
+{
+
+/** Byte address in the physical address space. */
+using Addr = std::uint64_t;
+
+/** Address of a 64-byte line (byte address >> 6). */
+using LineAddr = std::uint64_t;
+
+/** Time in CPU cycles (3 GHz clock domain). */
+using Cycle = std::uint64_t;
+
+/** Invalid / not-present sentinel for cycles. */
+inline constexpr Cycle invalidCycle = ~Cycle{0};
+
+/** Cache line size used throughout the hierarchy (paper Section III-A). */
+inline constexpr std::uint64_t lineSize = 64;
+inline constexpr std::uint64_t lineShift = 6;
+
+/** Region granularity used by Ganged Way-Steering (4 KB, Section IV-C2). */
+inline constexpr std::uint64_t regionSize = 4096;
+inline constexpr std::uint64_t regionShift = 12;
+
+/** Lines per 4KB region. */
+inline constexpr std::uint64_t linesPerRegion = regionSize / lineSize;
+
+/** Convert a byte address to a line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> lineShift;
+}
+
+/** Convert a line address back to the byte address of its first byte. */
+constexpr Addr
+byteOf(LineAddr line)
+{
+    return line << lineShift;
+}
+
+/** Region id (4KB granularity) of a line address. */
+constexpr std::uint64_t
+regionOf(LineAddr line)
+{
+    return line >> (regionShift - lineShift);
+}
+
+/** Kinds of accesses a cache level can receive. */
+enum class AccessType : std::uint8_t
+{
+    Read,       ///< demand read (load or ifetch miss from the level above)
+    Write,      ///< demand write (store miss; allocates like a read)
+    Writeback,  ///< dirty eviction from the level above
+};
+
+/** True for access types that carry dirty data downward. */
+constexpr bool
+isWritebackType(AccessType t)
+{
+    return t == AccessType::Writeback;
+}
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_TYPES_HPP

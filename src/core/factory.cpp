@@ -1,0 +1,52 @@
+#include "core/factory.hpp"
+
+#include "common/log.hpp"
+#include "core/ganged.hpp"
+#include "core/predictors.hpp"
+#include "core/steer.hpp"
+
+namespace accord::core
+{
+
+std::unique_ptr<WayPolicy>
+makePolicy(const std::string &spec, const CacheGeometry &geom,
+           const PolicyOptions &options)
+{
+    GangedParams ganged;
+    ganged.ritEntries = options.gwsEntries;
+    ganged.rltEntries = options.gwsEntries;
+
+    if (spec == "rand")
+        return std::make_unique<UnbiasedPolicy>(geom, options.seed);
+    if (spec == "pws")
+        return std::make_unique<PwsPolicy>(geom, options.pip,
+                                           options.seed);
+    if (spec == "gws") {
+        auto base = std::make_unique<UnbiasedPolicy>(geom, options.seed);
+        return std::make_unique<GangedPolicy>(std::move(base), ganged);
+    }
+    if (spec == "pws+gws") {
+        auto base = std::make_unique<PwsPolicy>(geom, options.pip,
+                                                options.seed);
+        return std::make_unique<GangedPolicy>(std::move(base), ganged);
+    }
+    if (spec == "sws")
+        return std::make_unique<SwsPolicy>(geom, options.swsK,
+                                           options.pip, options.seed);
+    if (spec == "sws+gws") {
+        auto base = std::make_unique<SwsPolicy>(geom, options.swsK,
+                                                options.pip, options.seed);
+        return std::make_unique<GangedPolicy>(std::move(base), ganged);
+    }
+    if (spec == "mru")
+        return std::make_unique<MruPolicy>(geom, options.seed);
+    if (spec == "ptag")
+        return std::make_unique<PartialTagPolicy>(
+            geom, options.partialTagBits, options.seed);
+    if (spec == "perfect")
+        return std::make_unique<PerfectPolicy>(geom, options.seed);
+
+    fatal("unknown way policy spec '%s'", spec.c_str());
+}
+
+} // namespace accord::core

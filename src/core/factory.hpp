@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Policy factory used by benches, examples, and tests.
+ *
+ * Builds any of the paper's way-steering / way-prediction
+ * configurations from a short spec string.
+ */
+
+#ifndef ACCORD_CORE_FACTORY_HPP
+#define ACCORD_CORE_FACTORY_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/way_policy.hpp"
+
+namespace accord::core
+{
+
+/** Knobs shared by the policy constructors. */
+struct PolicyOptions
+{
+    /** Preferred-way install probability for PWS/SWS (Section IV-B). */
+    double pip = 0.85;
+
+    /** Allowed locations per line for SWS(N,k). */
+    unsigned swsK = 2;
+
+    /** RIT/RLT entries for GWS. */
+    unsigned gwsEntries = 64;
+
+    /** Partial tag width for the partial-tag predictor. */
+    unsigned partialTagBits = 4;
+
+    /** RNG seed for the policy's private stream. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Build a policy from a spec string.
+ *
+ * Recognized specs: "rand", "pws", "gws", "pws+gws" (2-way ACCORD),
+ * "sws", "sws+gws" (high-associativity ACCORD), "mru", "ptag",
+ * "perfect".
+ */
+std::unique_ptr<WayPolicy>
+makePolicy(const std::string &spec, const CacheGeometry &geom,
+           const PolicyOptions &options = {});
+
+} // namespace accord::core
+
+#endif // ACCORD_CORE_FACTORY_HPP

@@ -1,0 +1,160 @@
+#include "core/ganged.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::core
+{
+
+RegionTable::RegionTable(unsigned entries) : slots(entries)
+{
+    ACCORD_ASSERT(entries > 0, "region table needs entries");
+}
+
+RegionTable::Slot *
+RegionTable::find(std::uint64_t region)
+{
+    for (Slot &slot : slots) {
+        if (slot.valid && slot.region == region)
+            return &slot;
+    }
+    return nullptr;
+}
+
+std::optional<unsigned>
+RegionTable::lookup(std::uint64_t region)
+{
+    if (Slot *slot = find(region)) {
+        slot->lastUse = ++use_clock;
+        return slot->way;
+    }
+    return std::nullopt;
+}
+
+void
+RegionTable::insert(std::uint64_t region, unsigned way)
+{
+    if (Slot *slot = find(region)) {
+        slot->way = way;
+        slot->lastUse = ++use_clock;
+        return;
+    }
+    Slot *victim = &slots[0];
+    for (Slot &slot : slots) {
+        if (!slot.valid) {
+            victim = &slot;
+            break;
+        }
+        if (slot.lastUse < victim->lastUse)
+            victim = &slot;
+    }
+    victim->valid = true;
+    victim->region = region;
+    victim->way = way;
+    victim->lastUse = ++use_clock;
+}
+
+void
+RegionTable::invalidate(std::uint64_t region)
+{
+    if (Slot *slot = find(region))
+        slot->valid = false;
+}
+
+unsigned
+RegionTable::occupancy() const
+{
+    unsigned count = 0;
+    for (const Slot &slot : slots)
+        count += slot.valid ? 1 : 0;
+    return count;
+}
+
+GangedPolicy::GangedPolicy(std::unique_ptr<WayPolicy> base,
+                           const GangedParams &params)
+    : WayPolicy(base->geometry()), base_(std::move(base)), params(params),
+      rit(params.ritEntries), rlt(params.rltEntries)
+{
+    // Lines of one 4KB region must share their tag so the ganged way is
+    // always inside the base policy's candidate set; this holds as long
+    // as the set index covers the in-region line bits.
+    ACCORD_ASSERT(geom_.setBits() >= regionShift - lineShift,
+                  "GWS requires at least 64 sets");
+}
+
+unsigned
+GangedPolicy::predict(const LineRef &ref)
+{
+    ++predictions;
+    if (const auto way = rlt.lookup(regionOf(ref.line))) {
+        ++rlt_hits;
+        return *way;
+    }
+    return base_->predict(ref);
+}
+
+unsigned
+GangedPolicy::install(const LineRef &ref)
+{
+    const std::uint64_t region = regionOf(ref.line);
+    if (const auto way = rit.lookup(region))
+        return *way;
+    const unsigned way = base_->install(ref);
+    rit.insert(region, way);
+    return way;
+}
+
+std::uint64_t
+GangedPolicy::candidates(const LineRef &ref) const
+{
+    return base_->candidates(ref);
+}
+
+void
+GangedPolicy::onHit(const LineRef &ref, unsigned way)
+{
+    rlt.insert(regionOf(ref.line), way);
+    base_->onHit(ref, way);
+}
+
+void
+GangedPolicy::onMiss(const LineRef &ref)
+{
+    base_->onMiss(ref);
+}
+
+void
+GangedPolicy::onInstall(const LineRef &ref, unsigned way)
+{
+    rlt.insert(regionOf(ref.line), way);
+    base_->onInstall(ref, way);
+}
+
+std::uint64_t
+GangedPolicy::storageBits() const
+{
+    const unsigned way_bits =
+        geom_.ways > 1 ? floorLog2(geom_.ways) : 1;
+    const std::uint64_t per_entry =
+        params.regionTagBits + 1 /* valid */ + way_bits;
+    return (params.ritEntries + params.rltEntries) * per_entry
+        + base_->storageBits();
+}
+
+std::string
+GangedPolicy::name() const
+{
+    const std::string inner = base_->name();
+    return inner == "rand" ? "gws" : inner + "+gws";
+}
+
+double
+GangedPolicy::rltCoverage() const
+{
+    return predictions == 0
+        ? 0.0
+        : static_cast<double>(rlt_hits)
+            / static_cast<double>(predictions);
+}
+
+} // namespace accord::core

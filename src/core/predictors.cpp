@@ -1,0 +1,117 @@
+#include "core/predictors.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::core
+{
+
+MruPolicy::MruPolicy(const CacheGeometry &geom, std::uint64_t seed)
+    : WayPolicy(geom), mru(geom.sets, 0), rng(seed)
+{
+}
+
+unsigned
+MruPolicy::predict(const LineRef &ref)
+{
+    return mru[ref.set];
+}
+
+unsigned
+MruPolicy::install(const LineRef &)
+{
+    return static_cast<unsigned>(rng.below(geom_.ways));
+}
+
+void
+MruPolicy::onHit(const LineRef &ref, unsigned way)
+{
+    mru[ref.set] = static_cast<std::uint8_t>(way);
+}
+
+void
+MruPolicy::onInstall(const LineRef &ref, unsigned way)
+{
+    mru[ref.set] = static_cast<std::uint8_t>(way);
+}
+
+std::uint64_t
+MruPolicy::storageBits() const
+{
+    const unsigned way_bits =
+        geom_.ways > 1 ? floorLog2(geom_.ways) : 1;
+    return geom_.sets * way_bits;
+}
+
+PartialTagPolicy::PartialTagPolicy(const CacheGeometry &geom,
+                                   unsigned tag_bits, std::uint64_t seed)
+    : WayPolicy(geom), tag_bits(tag_bits),
+      tags(geom.lines(), 0), valid(geom.lines(), 0), rng(seed)
+{
+    ACCORD_ASSERT(tag_bits >= 1 && tag_bits <= 8,
+                  "partial tags of 1..8 bits supported");
+    tag_mask = static_cast<std::uint8_t>((1u << tag_bits) - 1);
+}
+
+std::uint8_t
+PartialTagPolicy::partialOf(const LineRef &ref) const
+{
+    // Hash the tag down so adjacent tags do not collide trivially.
+    return static_cast<std::uint8_t>(mix64(ref.tag) & tag_mask);
+}
+
+unsigned
+PartialTagPolicy::predict(const LineRef &ref)
+{
+    const std::uint8_t partial = partialOf(ref);
+    const std::uint64_t base = ref.set * geom_.ways;
+    for (unsigned way = 0; way < geom_.ways; ++way) {
+        if (valid[base + way] && tags[base + way] == partial)
+            return way;
+    }
+    // No partial match: the line is almost certainly absent; probe
+    // way 0 first (the order barely matters on a confirmed miss).
+    return 0;
+}
+
+unsigned
+PartialTagPolicy::install(const LineRef &)
+{
+    return static_cast<unsigned>(rng.below(geom_.ways));
+}
+
+void
+PartialTagPolicy::onInstall(const LineRef &ref, unsigned way)
+{
+    const std::uint64_t index = ref.set * geom_.ways + way;
+    tags[index] = partialOf(ref);
+    valid[index] = 1;
+}
+
+std::uint64_t
+PartialTagPolicy::storageBits() const
+{
+    return geom_.lines() * tag_bits;
+}
+
+PerfectPolicy::PerfectPolicy(const CacheGeometry &geom,
+                             std::uint64_t seed)
+    : WayPolicy(geom), rng(seed)
+{
+}
+
+unsigned
+PerfectPolicy::predict(const LineRef &ref)
+{
+    ACCORD_ASSERT(oracle_ != nullptr, "perfect predictor needs an oracle");
+    const int way = oracle_(ref);
+    return way >= 0 ? static_cast<unsigned>(way) : 0u;
+}
+
+unsigned
+PerfectPolicy::install(const LineRef &)
+{
+    return static_cast<unsigned>(rng.below(geom_.ways));
+}
+
+} // namespace accord::core

@@ -1,0 +1,26 @@
+#include "core/way_policy.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::core
+{
+
+unsigned
+CacheGeometry::setBits() const
+{
+    ACCORD_ASSERT(isPow2(sets), "set count must be a power of two");
+    return floorLog2(sets);
+}
+
+LineRef
+LineRef::make(LineAddr line, const CacheGeometry &geom)
+{
+    LineRef ref;
+    ref.line = line;
+    ref.set = line & (geom.sets - 1);
+    ref.tag = line >> geom.setBits();
+    return ref;
+}
+
+} // namespace accord::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The ACCORD way-steering / way-prediction framework (paper Section IV).
+ *
+ * A WayPolicy couples the two decisions the paper coordinates:
+ *
+ *  - install side: which way an incoming line is steered into, and
+ *  - prediction side: which way a lookup probes first.
+ *
+ * The DRAM-cache controller consults predict() before probing,
+ * candidates() to bound miss confirmation (all ways for conventional
+ * designs, two for Skewed Way-Steering), and install() when filling.
+ * The controller reports outcomes back through the on*() hooks so
+ * history-based policies (GWS, MRU, partial tags) can learn.
+ */
+
+#ifndef ACCORD_CORE_WAY_POLICY_HPP
+#define ACCORD_CORE_WAY_POLICY_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace accord::core
+{
+
+/** Geometry of the set-associative cache a policy serves. */
+struct CacheGeometry
+{
+    /** Number of sets. */
+    std::uint64_t sets = 1;
+
+    /** Ways per set. */
+    unsigned ways = 1;
+
+    /** Bits of set index. */
+    unsigned setBits() const;
+
+    /** All-ways candidate mask. */
+    std::uint64_t
+    allWaysMask() const
+    {
+        return ways >= 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << ways) - 1;
+    }
+
+    /** Total lines the cache can hold. */
+    std::uint64_t lines() const { return sets * ways; }
+};
+
+/** A line as the policy sees it: address plus derived set/tag. */
+struct LineRef
+{
+    LineAddr line = 0;
+    std::uint64_t set = 0;
+
+    /** Tag = line address with the set bits stripped. */
+    std::uint64_t tag = 0;
+
+    /** Build a LineRef for a geometry. */
+    static LineRef make(LineAddr line, const CacheGeometry &geom);
+};
+
+/** Coupled install-steering and way-prediction policy. */
+class WayPolicy
+{
+  public:
+    explicit WayPolicy(const CacheGeometry &geom) : geom_(geom) {}
+    virtual ~WayPolicy() = default;
+
+    WayPolicy(const WayPolicy &) = delete;
+    WayPolicy &operator=(const WayPolicy &) = delete;
+
+    /** Way to probe first on a lookup. */
+    virtual unsigned predict(const LineRef &ref) = 0;
+
+    /** Way to install a missing line into. */
+    virtual unsigned install(const LineRef &ref) = 0;
+
+    /**
+     * Ways that may legally hold this line.  Miss confirmation probes
+     * only these (Section V-A); defaults to all ways.
+     */
+    virtual std::uint64_t
+    candidates(const LineRef &) const
+    {
+        return geom_.allWaysMask();
+    }
+
+    /** A lookup found the line in `way`. */
+    virtual void onHit(const LineRef &, unsigned /* way */) {}
+
+    /** A lookup confirmed the line absent. */
+    virtual void onMiss(const LineRef &) {}
+
+    /** The line was installed into `way`. */
+    virtual void onInstall(const LineRef &, unsigned /* way */) {}
+
+    /** SRAM bits this policy needs (paper Tables II and IX). */
+    virtual std::uint64_t storageBits() const { return 0; }
+
+    /** Short name for stat dumps ("pws", "pws+gws", ...). */
+    virtual std::string name() const = 0;
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+  protected:
+    CacheGeometry geom_;
+};
+
+} // namespace accord::core
+
+#endif // ACCORD_CORE_WAY_POLICY_HPP

@@ -1,0 +1,44 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+namespace accord::dram
+{
+
+Bank::ServeResult
+Bank::serve(Cycle now, std::uint64_t row, bool is_write,
+            const TimingParams &p)
+{
+    ServeResult result{};
+    Cycle cas_at;
+
+    if (open_row == row) {
+        // Row-buffer hit: only the column command spacing applies.
+        cas_at = std::max(now, next_cmd);
+        result.rowHit = true;
+    } else {
+        // Row closed or conflict: (PRE +) ACT + tRCD before CAS.
+        Cycle act_start = std::max(now, next_cmd);
+        if (open_row != noRow) {
+            // Precharge may not cut tRAS short.
+            const Cycle pre_at =
+                std::max(act_start, act_at + p.tRas);
+            act_start = pre_at + p.tRp;
+            result.rowConflict = true;
+        }
+        act_at = act_start;
+        open_row = row;
+        cas_at = act_start + p.tRcd;
+    }
+
+    next_cmd = cas_at + p.tCcd;
+    if (is_write) {
+        // Write recovery blocks the bank after the last data beat.
+        next_cmd = std::max(next_cmd, cas_at + p.tCas + p.tBurst + p.tWr);
+    }
+
+    result.casAt = cas_at;
+    return result;
+}
+
+} // namespace accord::dram

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Single-bank timing state machine.
+ *
+ * The bank resolves command timing algebraically: given the cycle a
+ * request is chosen by the channel scheduler and the current data-bus
+ * free time, it computes when the column access can start, honoring
+ * tRP/tRCD/tRAS/tCCD/tWR constraints, and updates its state.  This
+ * "next-free-time" formulation gives command-level fidelity without
+ * per-cycle ticking.
+ */
+
+#ifndef ACCORD_DRAM_BANK_HPP
+#define ACCORD_DRAM_BANK_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace accord::dram
+{
+
+/** Timing state of one DRAM/NVM bank. */
+class Bank
+{
+  public:
+    /** Sentinel row id meaning "no row open". */
+    static constexpr std::uint64_t noRow = ~std::uint64_t{0};
+
+    /** Outcome of serving one column access. */
+    struct ServeResult
+    {
+        /** Cycle the column command issues (CAS). */
+        Cycle casAt;
+
+        /** True if the access hit the open row buffer. */
+        bool rowHit;
+
+        /** True if a precharge was needed (row conflict). */
+        bool rowConflict;
+    };
+
+    /**
+     * Reserve the bank for a read or write to the given row.
+     *
+     * @param now      cycle the scheduler picked this request
+     * @param row      target row
+     * @param is_write true for writes (adds tWr recovery)
+     * @param p        device timing parameters
+     * @return timing of the column access
+     */
+    ServeResult serve(Cycle now, std::uint64_t row, bool is_write,
+                      const TimingParams &p);
+
+    /** Currently open row, or noRow. */
+    std::uint64_t openRow() const { return open_row; }
+
+    /** True if a request to this row would be a row-buffer hit now. */
+    bool wouldHit(std::uint64_t row) const { return open_row == row; }
+
+    /** Earliest cycle the next column command may issue. */
+    Cycle nextCmdAt() const { return next_cmd; }
+
+  private:
+    std::uint64_t open_row = noRow;
+
+    /** When the open row was activated (for tRAS). */
+    Cycle act_at = 0;
+
+    /** Earliest next column command (tCCD / tWR recovery). */
+    Cycle next_cmd = 0;
+};
+
+} // namespace accord::dram
+
+#endif // ACCORD_DRAM_BANK_HPP

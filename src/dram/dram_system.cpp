@@ -1,0 +1,99 @@
+#include "dram/dram_system.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::dram
+{
+
+double
+DeviceStats::rowHitRate() const
+{
+    const std::uint64_t total = readsServed + writesServed;
+    return total == 0
+        ? 0.0 : static_cast<double>(rowHits) / static_cast<double>(total);
+}
+
+DramSystem::DramSystem(const TimingParams &params, EventQueue &eq)
+    : params_(params), eq(eq)
+{
+    params_.validate();
+    channels.reserve(params_.channels);
+    for (unsigned i = 0; i < params_.channels; ++i)
+        channels.push_back(std::make_unique<Channel>(i, params_, eq));
+
+    channel_shift_bits = floorLog2(params_.channels);
+    bank_shift_bits = floorLog2(params_.banksPerChannel);
+    lines_per_row = params_.rowBytes / lineSize;
+}
+
+void
+DramSystem::enqueue(MemOp op)
+{
+    ACCORD_ASSERT(op.loc.channel < channels.size(),
+                  "channel %u out of range", op.loc.channel);
+    channels[op.loc.channel]->enqueue(std::move(op));
+}
+
+PhysLoc
+DramSystem::mapLine(LineAddr line) const
+{
+    PhysLoc loc;
+    std::uint64_t rest = line;
+    loc.channel = static_cast<unsigned>(bits(rest, 0, channel_shift_bits));
+    rest >>= channel_shift_bits;
+    loc.bank = static_cast<unsigned>(bits(rest, 0, bank_shift_bits));
+    rest >>= bank_shift_bits;
+    loc.row = rest / lines_per_row;
+    return loc;
+}
+
+void
+DramSystem::accessLine(LineAddr line, bool is_write,
+                       MemCallback on_complete)
+{
+    MemOp op;
+    op.loc = mapLine(line);
+    op.isWrite = is_write;
+    op.onComplete = std::move(on_complete);
+    enqueue(std::move(op));
+}
+
+bool
+DramSystem::idle() const
+{
+    for (const auto &ch : channels) {
+        if (!ch->idle())
+            return false;
+    }
+    return true;
+}
+
+DeviceStats
+DramSystem::aggregateStats() const
+{
+    DeviceStats agg;
+    double read_lat_weighted = 0.0;
+    double write_lat_weighted = 0.0;
+    for (const auto &ch : channels) {
+        const ChannelStats &s = ch->stats();
+        agg.readsServed += s.readsServed.value();
+        agg.writesServed += s.writesServed.value();
+        agg.rowHits += s.rowHits.value();
+        agg.rowConflicts += s.rowConflicts.value();
+        agg.busBusyCycles += s.busBusyCycles.value();
+        read_lat_weighted += s.readLatency.mean()
+            * static_cast<double>(s.readsServed.value());
+        write_lat_weighted += s.writeLatency.mean()
+            * static_cast<double>(s.writesServed.value());
+    }
+    if (agg.readsServed > 0)
+        agg.avgReadLatency =
+            read_lat_weighted / static_cast<double>(agg.readsServed);
+    if (agg.writesServed > 0)
+        agg.avgWriteLatency =
+            write_lat_weighted / static_cast<double>(agg.writesServed);
+    return agg;
+}
+
+} // namespace accord::dram

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A multi-channel banked memory device.
+ *
+ * DramSystem instantiates Channels per TimingParams and routes MemOps.
+ * It serves both roles in the paper's system: the HBM array holding the
+ * L4 cache (addressed by explicit PhysLoc from the cache layout) and,
+ * via NvmSystem, the PCM main memory (addressed by line address through
+ * the interleaving mapper).
+ */
+
+#ifndef ACCORD_DRAM_DRAM_SYSTEM_HPP
+#define ACCORD_DRAM_DRAM_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "dram/channel.hpp"
+#include "dram/mem_op.hpp"
+#include "dram/timing.hpp"
+
+namespace accord::dram
+{
+
+/** Aggregated device statistics (sum/mean over channels). */
+struct DeviceStats
+{
+    std::uint64_t readsServed = 0;
+    std::uint64_t writesServed = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t busBusyCycles = 0;
+    double avgReadLatency = 0.0;
+    double avgWriteLatency = 0.0;
+
+    /** Row-hit fraction over all column accesses. */
+    double rowHitRate() const;
+};
+
+/** Multi-channel banked memory device. */
+class DramSystem
+{
+  public:
+    DramSystem(const TimingParams &params, EventQueue &eq);
+
+    /** Issue an op to its channel (op.loc.channel selects it). */
+    void enqueue(MemOp op);
+
+    /** Convenience: read/write a line by interleaved address mapping. */
+    void accessLine(LineAddr line, bool is_write, MemCallback on_complete);
+
+    /**
+     * Map a line address to physical coordinates: channel bits lowest
+     * (maximize channel parallelism), then bank, then row.
+     */
+    PhysLoc mapLine(LineAddr line) const;
+
+    /** True when all channels are idle. */
+    bool idle() const;
+
+    /** Device geometry/timing. */
+    const TimingParams &params() const { return params_; }
+
+    unsigned numChannels() const
+        { return static_cast<unsigned>(channels.size()); }
+
+    const Channel &channel(unsigned i) const { return *channels.at(i); }
+    Channel &channel(unsigned i) { return *channels.at(i); }
+
+    /** Sum/average stats over all channels. */
+    DeviceStats aggregateStats() const;
+
+  private:
+    TimingParams params_;
+    EventQueue &eq;
+    std::vector<std::unique_ptr<Channel>> channels;
+
+    unsigned channel_shift_bits;
+    unsigned bank_shift_bits;
+    std::uint64_t lines_per_row;
+};
+
+} // namespace accord::dram
+
+#endif // ACCORD_DRAM_DRAM_SYSTEM_HPP

@@ -1,0 +1,116 @@
+#include "dram/timing.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::dram
+{
+
+namespace
+{
+
+/** CPU cycles for a duration in nanoseconds at a 3 GHz core clock. */
+constexpr Cycle
+ns(double nanoseconds)
+{
+    return static_cast<Cycle>(nanoseconds * 3.0 + 0.5);
+}
+
+} // namespace
+
+std::uint64_t
+TimingParams::rowsPerBank() const
+{
+    const std::uint64_t per_bank =
+        capacityBytes / channels / banksPerChannel;
+    return per_bank / rowBytes;
+}
+
+double
+TimingParams::peakBytesPerCycle() const
+{
+    // One line (64 bytes of payload) per tBurst per channel.
+    return static_cast<double>(channels) * lineSize
+        / static_cast<double>(tBurst);
+}
+
+void
+TimingParams::validate() const
+{
+    if (!isPow2(channels) || !isPow2(banksPerChannel))
+        fatal("%s: channels/banks must be powers of two", name);
+    if (!isPow2(rowBytes) || rowBytes < lineSize)
+        fatal("%s: bad row size %llu", name,
+              static_cast<unsigned long long>(rowBytes));
+    if (capacityBytes % (static_cast<std::uint64_t>(channels)
+                         * banksPerChannel * rowBytes) != 0)
+        fatal("%s: capacity not divisible by channel*bank*row", name);
+    if (tBurst == 0 || tCas == 0)
+        fatal("%s: zero timing parameter", name);
+    if (writeDrainLow >= writeDrainHigh
+        || writeDrainHigh > writeQueueCap)
+        fatal("%s: bad write drain watermarks", name);
+}
+
+TimingParams
+hbmCacheTiming()
+{
+    TimingParams p;
+    p.name = "hbm";
+    p.channels = 8;
+    p.banksPerChannel = 16;
+    p.rowBytes = 2048;
+    p.capacityBytes = 4ULL << 30;
+    p.tCas = ns(14);
+    p.tRcd = ns(14);
+    p.tRp = ns(14);
+    p.tRas = ns(33);
+    p.tWr = ns(15);
+    p.tBurst = ns(4);   // 72B over a 144-bit effective bus at DDR 1 GHz
+    p.tCcd = ns(4);
+    return p;
+}
+
+TimingParams
+pcmMainMemoryTiming()
+{
+    TimingParams p;
+    p.name = "pcm";
+    p.channels = 2;
+    p.rowBytes = 4096;
+    p.capacityBytes = 128ULL << 30;
+    p.tCas = ns(14);
+    p.tRcd = ns(95);   // array read: ~2-4X overall DRAM read latency
+    p.tRp = ns(14);     // writeback of the row happens on write, not PRE
+    p.tRas = ns(109);
+    p.tWr = ns(350);    // cell programming: ~4X DRAM write latency
+    p.banksPerChannel = 64;     // PCM arrays are heavily banked to
+                                // hide long cell-programming times
+    p.tBurst = ns(4);   // 64B over an 8-byte-wide bus at DDR 2 GHz
+    p.tCcd = ns(4);
+    p.writeQueueCap = 128;
+    p.writeDrainHigh = 64;
+    p.writeDrainLow = 16;
+    return p;
+}
+
+TimingParams
+ddrMainMemoryTiming()
+{
+    TimingParams p;
+    p.name = "ddr";
+    p.channels = 2;
+    p.banksPerChannel = 16;
+    p.rowBytes = 4096;
+    p.capacityBytes = 128ULL << 30;
+    p.tCas = ns(14);
+    p.tRcd = ns(14);
+    p.tRp = ns(14);
+    p.tRas = ns(33);
+    p.tWr = ns(15);
+    p.tBurst = ns(4);
+    p.tCcd = ns(4);
+    return p;
+}
+
+} // namespace accord::dram

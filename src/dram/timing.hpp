@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Timing and geometry parameters for banked memory devices.
+ *
+ * One parameter block describes either the HBM-style stacked DRAM that
+ * backs the L4 cache or the PCM-style non-volatile main memory (paper
+ * Table III).  All latencies are stored in CPU cycles (3 GHz domain);
+ * the presets convert from nanoseconds.
+ */
+
+#ifndef ACCORD_DRAM_TIMING_HPP
+#define ACCORD_DRAM_TIMING_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace accord::dram
+{
+
+/** Timing/geometry description of a banked memory device. */
+struct TimingParams
+{
+    /** Human-readable device name for stat dumps. */
+    const char *name = "mem";
+
+    /** Number of independent channels. */
+    unsigned channels = 8;
+
+    /** Banks per channel. */
+    unsigned banksPerChannel = 16;
+
+    /** Row-buffer size in bytes. */
+    std::uint64_t rowBytes = 2048;
+
+    /** Total capacity in bytes. */
+    std::uint64_t capacityBytes = 4ULL << 30;
+
+    /** CAS (column access) latency, CPU cycles. */
+    Cycle tCas = 42;
+
+    /** RAS-to-CAS (activate) latency, CPU cycles. */
+    Cycle tRcd = 42;
+
+    /** Precharge latency, CPU cycles. */
+    Cycle tRp = 42;
+
+    /** Minimum row-open time before precharge, CPU cycles. */
+    Cycle tRas = 99;
+
+    /** Write recovery after the last write data beat, CPU cycles. */
+    Cycle tWr = 45;
+
+    /** Data-bus occupancy of one 64/72-byte line transfer, CPU cycles. */
+    Cycle tBurst = 12;
+
+    /** Column-to-column command spacing, CPU cycles. */
+    Cycle tCcd = 12;
+
+    /** Read-queue capacity per channel. */
+    unsigned readQueueCap = 64;
+
+    /** Write-queue capacity per channel. */
+    unsigned writeQueueCap = 64;
+
+    /** Start draining writes when the write queue reaches this size. */
+    unsigned writeDrainHigh = 40;
+
+    /** Stop draining writes when the write queue falls to this size. */
+    unsigned writeDrainLow = 16;
+
+    /** Rows per bank implied by the geometry. */
+    std::uint64_t rowsPerBank() const;
+
+    /** Peak data bandwidth in bytes per CPU cycle (for sanity checks). */
+    double peakBytesPerCycle() const;
+
+    /** fatal() if the parameters are inconsistent. */
+    void validate() const;
+};
+
+/**
+ * HBM-style stacked DRAM used as the L4 cache array.
+ *
+ * 8 channels x 128-bit bus at DDR 1 GHz = 128 GB/s aggregate; a 72-byte
+ * tag+data unit moves in 4 beats (tag rides the ECC lanes), i.e. 4 ns =
+ * 12 CPU cycles at 3 GHz.
+ */
+TimingParams hbmCacheTiming();
+
+/**
+ * PCM-style non-volatile main memory.
+ *
+ * 2 channels x 64-bit bus at DDR 2 GHz = 32 GB/s aggregate.  Array read
+ * is 2-4X the DRAM latency and write recovery is ~4X (paper Section
+ * III-A), which is what makes DRAM-cache hit rate matter.
+ */
+TimingParams pcmMainMemoryTiming();
+
+/**
+ * Conventional DDR main memory, for the paper's Section II-B premise:
+ * when memory latency is close to DRAM-cache latency, trading hit rate
+ * for hit latency is acceptable and associativity buys little.  Same
+ * channel/bus geometry as the PCM preset, DRAM-class latencies.
+ */
+TimingParams ddrMainMemoryTiming();
+
+} // namespace accord::dram
+
+#endif // ACCORD_DRAM_TIMING_HPP

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The L4 DRAM-cache controller.
+ *
+ * Implements every cache organization the paper evaluates on top of a
+ * tags-with-data array:
+ *
+ *  - direct-mapped (Alloy/KNL baseline): 1 probe resolves hit or miss;
+ *  - set-associative with parallel, serial, way-predicted, or
+ *    idealized lookup (Section II-C, Table I);
+ *  - column-associative / hash-rehash (CA-cache, Section VII), which
+ *    swaps lines to keep hot lines at their primary slot.
+ *
+ * Way-predicted lookup consults a core::WayPolicy both to order probes
+ * and to steer installs; miss confirmation probes only the policy's
+ * candidate ways, which is how Skewed Way-Steering caps the miss cost
+ * at two probes (Section V-A).
+ *
+ * The controller offers two execution paths over the same functional
+ * state (tag store, policy, DCP directory):
+ *
+ *  - warmRead()/warmWriteback(): untimed, used for cache warmup and
+ *    for pure hit-rate / prediction-accuracy studies; these count the
+ *    line transfers each access WOULD cost;
+ *  - read()/writeback(): fully timed against the stacked-DRAM array
+ *    and the NVM main memory via the shared EventQueue.
+ */
+
+#ifndef ACCORD_DRAMCACHE_CONTROLLER_HPP
+#define ACCORD_DRAMCACHE_CONTROLLER_HPP
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/way_policy.hpp"
+#include "dram/dram_system.hpp"
+#include "dramcache/dcp.hpp"
+#include "dramcache/layout.hpp"
+#include "dramcache/tag_store.hpp"
+#include "nvm/nvm_system.hpp"
+
+namespace accord::dramcache
+{
+
+/** How lookups locate a line within a set (Section II-C). */
+enum class LookupMode
+{
+    Serial,     ///< probe ways one by one in a fixed order
+    Parallel,   ///< stream all candidate ways per access
+    Predicted,  ///< probe the predicted way first, then the rest
+    Ideal,      ///< magic 1-transfer hit AND miss (Fig 1c bound)
+};
+
+/** Overall array organization. */
+enum class Organization
+{
+    SetAssoc,       ///< ways==1 gives the direct-mapped baseline
+    ColumnAssoc,    ///< hash-rehash with swap-to-primary (CA-cache)
+};
+
+/** Victim selection when no way policy steers installs. */
+enum class L4Replacement
+{
+    /** Update-free random replacement (the paper's choice, II-B4). */
+    Random,
+
+    /**
+     * True LRU.  Because the replacement state lives with the tags in
+     * DRAM, every hit pays an extra line write to update it — the
+     * paper's footnote 2 measures this costing ~9% vs random.
+     */
+    Lru,
+};
+
+/** DRAM cache configuration. */
+struct DramCacheParams
+{
+    std::uint64_t capacityBytes = 256ULL << 20;
+    unsigned ways = 1;
+    Organization org = Organization::SetAssoc;
+    LookupMode lookup = LookupMode::Predicted;
+
+    /** Writebacks carry DCP way bits and skip the probe (II-B3). */
+    bool dcpWayBits = true;
+
+    /** Victim selection for unsteered installs (LRU ablation). */
+    L4Replacement replacement = L4Replacement::Random;
+
+    /** Way placement in the array (row-co-located vs striped). */
+    LayoutMode layout = LayoutMode::RowCoLocated;
+
+    std::uint64_t seed = 7;
+};
+
+/** Controller statistics. */
+struct DramCacheStats
+{
+    Ratio readHits;
+
+    /** First-probe-correct ratio over read hits. */
+    Ratio wayPrediction;
+
+    /** Line transfers on the stacked-DRAM bus. */
+    Counter cacheReadTransfers;
+    Counter cacheWriteTransfers;
+
+    Counter nvmReads;
+    Counter nvmWrites;
+
+    Counter writebacksToCache;
+    Counter writebacksToNvm;
+
+    /** Probe transfers spent locating writeback targets (no-DCP mode). */
+    Counter writebackProbeTransfers;
+
+    /** Writebacks whose DCP way bits were stale (rare races). */
+    Counter dcpStaleWritebacks;
+
+    /** CA-cache swap operations. */
+    Counter swaps;
+
+    /** Replacement-state update writes (LRU-in-DRAM ablation). */
+    Counter replacementUpdateWrites;
+
+    Average probesPerRead;
+    Average readHitLatency;
+    Average readMissLatency;
+
+    /** All stacked-DRAM transfers per demand read (bandwidth bloat). */
+    double transfersPerRead() const;
+
+    void reset();
+};
+
+/** The L4 DRAM-cache controller. */
+class DramCacheController
+{
+  public:
+    /** Demand-read completion: hit/miss and data-ready cycle. */
+    using ReadDone = std::function<void(bool hit, Cycle when)>;
+
+    /**
+     * @param params  cache organization
+     * @param policy  way steering/prediction; may be null for
+     *                direct-mapped and column-associative caches
+     * @param timing  stacked-DRAM parameters; capacityBytes is forced
+     *                to params.capacityBytes
+     * @param eq      shared event queue
+     * @param nvm     main memory below the cache
+     */
+    DramCacheController(const DramCacheParams &params,
+                        std::unique_ptr<core::WayPolicy> policy,
+                        dram::TimingParams timing, EventQueue &eq,
+                        nvm::NvmSystem &nvm);
+
+    // --- timed path -----------------------------------------------
+
+    /** Timed demand read (L3 miss). */
+    void read(LineAddr line, ReadDone done);
+
+    /** Timed writeback (dirty L3 eviction); posted. */
+    void writeback(LineAddr line);
+
+    // --- functional path ------------------------------------------
+
+    /** Untimed demand read; returns hit/miss. */
+    bool warmRead(LineAddr line);
+
+    /** Untimed writeback. */
+    void warmWriteback(LineAddr line);
+
+    // --- introspection --------------------------------------------
+
+    const DramCacheStats &stats() const { return stats_; }
+    DramCacheStats &stats() { return stats_; }
+
+    /** Reset controller stats AND the HBM device channel stats. */
+    void resetStats();
+
+    const core::CacheGeometry &geometry() const { return geom; }
+    const TagStore &tagStore() const { return tags; }
+    core::WayPolicy *policy() { return policy_.get(); }
+    dram::DramSystem &hbm() { return hbm_; }
+    const dram::DramSystem &hbm() const { return hbm_; }
+
+    /** True when no timed transactions are in flight. */
+    bool quiesced() const { return in_flight == 0; }
+
+    /** Short description ("dm", "2-way pws+gws serial", ...). */
+    std::string describe() const;
+
+  private:
+    /** Probe order for a line: predicted way first, then candidates. */
+    unsigned probeOrder(const core::LineRef &ref,
+                        std::array<unsigned, 64> &order);
+
+    /** Number of candidate ways (miss-confirmation cost). */
+    unsigned candidateCount(const core::LineRef &ref) const;
+
+    /** What an install did, for the timed path to mirror on devices. */
+    struct InstallResult
+    {
+        unsigned way = 0;
+        bool victimDirty = false;
+        LineAddr victimLine = 0;
+    };
+
+    /** Shared install bookkeeping (tag store, policy, DCP, counters). */
+    InstallResult installLine(const core::LineRef &ref);
+
+    /** Victim way for an unsteered install (random or LRU). */
+    unsigned unsteeredVictim(const core::LineRef &ref);
+
+    /**
+     * LRU bookkeeping on a hit: stamps the way and charges the
+     * in-DRAM replacement-state write (timed path issues it too).
+     */
+    void touchReplacement(const core::LineRef &ref, unsigned way,
+                          bool timed);
+
+    /** Issue a timed read/write of one way unit of a set. */
+    void issueCacheOp(std::uint64_t set, unsigned way, bool is_write,
+                      dram::MemCallback on_complete,
+                      bool priority = false);
+
+    // Timed transaction state.
+    struct ReadTxn;
+    void issueProbe(const std::shared_ptr<ReadTxn> &txn, unsigned index);
+    void probeDone(const std::shared_ptr<ReadTxn> &txn, unsigned index,
+                   Cycle when);
+    void missConfirmed(const std::shared_ptr<ReadTxn> &txn, Cycle when);
+    void finishHit(const std::shared_ptr<ReadTxn> &txn, unsigned way,
+                   unsigned probe_index, Cycle when);
+
+    // Column-associative organization.
+    std::uint64_t primarySlot(LineAddr line) const;
+    std::uint64_t pairSlot(std::uint64_t slot) const;
+    bool slotHolds(std::uint64_t slot, LineAddr line) const;
+    void caSwap(std::uint64_t primary, std::uint64_t secondary);
+    void caInstall(LineAddr line, std::uint64_t primary,
+                   std::uint64_t secondary, bool timed);
+    bool warmReadCa(LineAddr line);
+    void readCa(LineAddr line, ReadDone done);
+
+    // Writeback helpers shared by both paths.
+    void writebackCommon(LineAddr line, bool timed);
+
+    DramCacheParams params;
+    core::CacheGeometry geom;
+    std::unique_ptr<core::WayPolicy> policy_;
+    EventQueue &eq;
+    nvm::NvmSystem &nvm;
+    dram::DramSystem hbm_;
+    CacheLayout layout;
+    TagStore tags;
+    DcpDirectory dcp;
+    DramCacheStats stats_;
+    Rng install_rng;
+    std::uint64_t ca_pair_mask = 0;
+    unsigned in_flight = 0;
+
+    /** Per-line recency stamps for the LRU ablation (empty if unused). */
+    std::vector<std::uint64_t> lru_stamps;
+    std::uint64_t lru_clock = 0;
+};
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_CONTROLLER_HPP

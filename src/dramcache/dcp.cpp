@@ -1,0 +1,3 @@
+// DcpDirectory is header-only; this translation unit anchors the
+// library component list.
+#include "dramcache/dcp.hpp"

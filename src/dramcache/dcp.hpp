@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DRAM-Cache-Presence directory (DCP + way bits).
+ *
+ * The paper keeps a presence bit per L3 line, extended with the
+ * resident way, so writebacks can go straight to the right way without
+ * a probe (Section II-B3).  This directory models that metadata: it is
+ * written by the L4 controller whenever it returns or installs a line
+ * (i.e. whenever the L3 would fill) and erased when the L4 evicts.
+ */
+
+#ifndef ACCORD_DRAMCACHE_DCP_HPP
+#define ACCORD_DRAMCACHE_DCP_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace accord::dramcache
+{
+
+/** line -> resident-way directory for writeback routing. */
+class DcpDirectory
+{
+  public:
+    /** Resident way of the line, if the cache holds it. */
+    std::optional<unsigned>
+    lookup(LineAddr line) const
+    {
+        const auto it = map.find(line);
+        if (it == map.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Record that `line` now resides in `way`. */
+    void
+    record(LineAddr line, unsigned way)
+    {
+        map[line] = static_cast<std::uint8_t>(way);
+    }
+
+    /** The cache evicted `line`. */
+    void erase(LineAddr line) { map.erase(line); }
+
+    std::size_t size() const { return map.size(); }
+
+  private:
+    std::unordered_map<LineAddr, std::uint8_t> map;
+};
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_DCP_HPP

@@ -1,0 +1,63 @@
+#include "dramcache/layout.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::dramcache
+{
+
+CacheLayout::CacheLayout(const core::CacheGeometry &geom,
+                         const dram::TimingParams &timing,
+                         LayoutMode mode)
+    : mode_(mode), ways(geom.ways)
+{
+    lines_per_row = timing.rowBytes / lineSize;
+    if (lines_per_row < geom.ways)
+        fatal("cache layout: %u ways do not fit a %llu-byte row",
+              geom.ways,
+              static_cast<unsigned long long>(timing.rowBytes));
+    sets_per_row = lines_per_row / geom.ways;
+    ACCORD_ASSERT(isPow2(sets_per_row), "sets per row must be pow2");
+
+    const std::uint64_t device_lines = timing.capacityBytes / lineSize;
+    if (geom.lines() != device_lines)
+        fatal("cache layout: geometry holds %llu lines but the device "
+              "has %llu",
+              static_cast<unsigned long long>(geom.lines()),
+              static_cast<unsigned long long>(device_lines));
+
+    channel_bits = floorLog2(timing.channels);
+    bank_bits = floorLog2(timing.banksPerChannel);
+    sets_per_row_bits = floorLog2(sets_per_row);
+}
+
+dram::PhysLoc
+CacheLayout::locate(std::uint64_t set, unsigned way) const
+{
+    dram::PhysLoc loc;
+    if (mode_ == LayoutMode::WayStriped) {
+        // Treat (set, way) as a flat line index and interleave it
+        // like main memory: the ways of one set scatter over
+        // channels/banks/rows.
+        const std::uint64_t index = set * ways + way;
+        loc.channel =
+            static_cast<unsigned>(bits(index, 0, channel_bits));
+        std::uint64_t rest = index >> channel_bits;
+        rest /= lines_per_row;
+        loc.bank = static_cast<unsigned>(bits(rest, 0, bank_bits));
+        loc.row = rest >> bank_bits;
+        return loc;
+    }
+
+    loc.channel = static_cast<unsigned>(bits(set, 0, channel_bits));
+    std::uint64_t rest = set >> channel_bits;
+    // Consecutive (per-channel) sets pack into one row first, so a
+    // streaming region enjoys row-buffer hits; all ways of the set
+    // share this row.
+    rest >>= sets_per_row_bits;
+    loc.bank = static_cast<unsigned>(bits(rest, 0, bank_bits));
+    loc.row = rest >> bank_bits;
+    return loc;
+}
+
+} // namespace accord::dramcache

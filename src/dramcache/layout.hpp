@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mapping of cache sets onto the stacked-DRAM array.
+ *
+ * All ways of a set are consecutive tag+data units inside one row
+ * buffer (Fig 2b), so serial second probes and SWS miss confirmation
+ * usually hit an open row.  Consecutive sets stripe across channels so
+ * a spatial region exercises all channels.
+ */
+
+#ifndef ACCORD_DRAMCACHE_LAYOUT_HPP
+#define ACCORD_DRAMCACHE_LAYOUT_HPP
+
+#include "core/way_policy.hpp"
+#include "dram/mem_op.hpp"
+#include "dram/timing.hpp"
+
+namespace accord::dramcache
+{
+
+/** How a set's ways are placed in the array. */
+enum class LayoutMode
+{
+    /**
+     * All ways of a set in one row buffer (the paper's design,
+     * Fig 2b / Section VII): second probes and SWS confirmation are
+     * row-buffer hits.
+     */
+    RowCoLocated,
+
+    /**
+     * Ablation: ways striped across channels/banks like independent
+     * lines.  Probes of one set spread out (more bank parallelism)
+     * but the second probe opens a new row.
+     */
+    WayStriped,
+};
+
+/** Set/way -> (channel, bank, row) mapping for the DRAM cache array. */
+class CacheLayout
+{
+  public:
+    CacheLayout(const core::CacheGeometry &geom,
+                const dram::TimingParams &timing,
+                LayoutMode mode = LayoutMode::RowCoLocated);
+
+    /** Physical coordinates of one way of a set. */
+    dram::PhysLoc locate(std::uint64_t set, unsigned way = 0) const;
+
+    /** Sets that share one DRAM row (RowCoLocated mode). */
+    std::uint64_t setsPerRow() const { return sets_per_row; }
+
+    LayoutMode mode() const { return mode_; }
+
+  private:
+    LayoutMode mode_;
+    unsigned ways;
+    std::uint64_t sets_per_row;
+    unsigned channel_bits;
+    unsigned bank_bits;
+    unsigned sets_per_row_bits;
+    std::uint64_t lines_per_row = 1;
+};
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_LAYOUT_HPP

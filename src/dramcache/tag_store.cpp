@@ -1,0 +1,69 @@
+#include "dramcache/tag_store.hpp"
+
+#include "common/log.hpp"
+
+namespace accord::dramcache
+{
+
+TagStore::TagStore(const core::CacheGeometry &geom)
+    : geom(geom), tags(geom.lines(), 0), flags(geom.lines(), 0)
+{
+}
+
+int
+TagStore::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    for (unsigned way = 0; way < geom.ways; ++way) {
+        const std::size_t i = index(set, way);
+        if ((flags[i] & flagValid) && tags[i] == tag)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+TagStore::Victim
+TagStore::install(std::uint64_t set, unsigned way, std::uint64_t tag,
+                  bool dirty)
+{
+    ACCORD_ASSERT(way < geom.ways, "install way out of range");
+    const std::size_t i = index(set, way);
+
+    Victim victim;
+    if (flags[i] & flagValid) {
+        victim.valid = true;
+        victim.dirty = (flags[i] & flagDirty) != 0;
+        victim.tag = tags[i];
+    } else {
+        ++occupancy_;
+    }
+
+    tags[i] = tag;
+    flags[i] = static_cast<std::uint8_t>(
+        flagValid | (dirty ? flagDirty : 0));
+    return victim;
+}
+
+void
+TagStore::markDirty(std::uint64_t set, unsigned way)
+{
+    const std::size_t i = index(set, way);
+    ACCORD_ASSERT(flags[i] & flagValid, "markDirty on invalid way");
+    flags[i] |= flagDirty;
+}
+
+void
+TagStore::invalidate(std::uint64_t set, unsigned way)
+{
+    const std::size_t i = index(set, way);
+    if (flags[i] & flagValid)
+        --occupancy_;
+    flags[i] = 0;
+}
+
+std::uint64_t
+TagStore::occupancy() const
+{
+    return occupancy_;
+}
+
+} // namespace accord::dramcache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Functional tag array of the DRAM cache.
+ *
+ * In the modeled hardware the tags live in unused ECC bits next to the
+ * data (KNL-style, Section II-A), so every tag check costs a DRAM line
+ * transfer — the timing side charges those.  This class is the
+ * simulator's functional mirror of that in-DRAM state.
+ */
+
+#ifndef ACCORD_DRAMCACHE_TAG_STORE_HPP
+#define ACCORD_DRAMCACHE_TAG_STORE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/way_policy.hpp"
+
+namespace accord::dramcache
+{
+
+/** Tag/dirty/valid state of every line slot in the cache. */
+class TagStore
+{
+  public:
+    /** What install() displaced. */
+    struct Victim
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+    };
+
+    explicit TagStore(const core::CacheGeometry &geom);
+
+    /** Way holding the tag in the set, or -1 if absent. */
+    int findWay(std::uint64_t set, std::uint64_t tag) const;
+
+    bool valid(std::uint64_t set, unsigned way) const
+        { return (flags[index(set, way)] & flagValid) != 0; }
+    bool dirty(std::uint64_t set, unsigned way) const
+        { return (flags[index(set, way)] & flagDirty) != 0; }
+    std::uint64_t tag(std::uint64_t set, unsigned way) const
+        { return tags[index(set, way)]; }
+
+    /** Install a tag into a way, returning the displaced victim. */
+    Victim install(std::uint64_t set, unsigned way, std::uint64_t tag,
+                   bool dirty);
+
+    /** Mark a resident way dirty (writeback hit). */
+    void markDirty(std::uint64_t set, unsigned way);
+
+    /** Drop a way's line. */
+    void invalidate(std::uint64_t set, unsigned way);
+
+    /** Valid lines currently held (for tests/occupancy checks). */
+    std::uint64_t occupancy() const;
+
+    const core::CacheGeometry &geometry() const { return geom; }
+
+    /** Reconstruct the full line address stored in a way. */
+    LineAddr
+    lineAt(std::uint64_t set, unsigned way) const
+    {
+        return (tag(set, way) << geom.setBits()) | set;
+    }
+
+  private:
+    static constexpr std::uint8_t flagValid = 1;
+    static constexpr std::uint8_t flagDirty = 2;
+
+    std::size_t
+    index(std::uint64_t set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set * geom.ways + way);
+    }
+
+    core::CacheGeometry geom;
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint8_t> flags;
+    std::uint64_t occupancy_ = 0;
+};
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_TAG_STORE_HPP

@@ -1,0 +1,4 @@
+// NvmSystem is header-only today; this translation unit anchors the
+// library and keeps a home for future out-of-line definitions (e.g.
+// wear statistics).
+#include "nvm/nvm_system.hpp"

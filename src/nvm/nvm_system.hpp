@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PCM-style non-volatile main memory.
+ *
+ * NvmSystem composes the generic banked-memory machinery with PCM
+ * timing: long array reads (2-4X DRAM read latency) and very long cell
+ * programming on writes (~4X DRAM write latency), which occupies the
+ * bank and forces write-drain episodes that delay reads.  This is the
+ * memory below the DRAM cache in the paper's system (Table III).
+ */
+
+#ifndef ACCORD_NVM_NVM_SYSTEM_HPP
+#define ACCORD_NVM_NVM_SYSTEM_HPP
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "dram/dram_system.hpp"
+
+namespace accord::nvm
+{
+
+/** Non-volatile main memory device. */
+class NvmSystem
+{
+  public:
+    /** Build with default PCM timing. */
+    explicit NvmSystem(EventQueue &eq)
+        : NvmSystem(dram::pcmMainMemoryTiming(), eq)
+    {
+    }
+
+    /** Build with custom timing (tests / sensitivity studies). */
+    NvmSystem(const dram::TimingParams &params, EventQueue &eq)
+        : device(params, eq)
+    {
+    }
+
+    /** Read a line; callback fires when data returns. */
+    void
+    readLine(LineAddr line, dram::MemCallback on_complete)
+    {
+        reads_.inc();
+        device.accessLine(line, false, std::move(on_complete));
+    }
+
+    /** Write a line (posted; callback optional). */
+    void
+    writeLine(LineAddr line, dram::MemCallback on_complete = nullptr)
+    {
+        writes_.inc();
+        device.accessLine(line, true, std::move(on_complete));
+    }
+
+    bool idle() const { return device.idle(); }
+
+    const dram::TimingParams &params() const { return device.params(); }
+
+    dram::DeviceStats aggregateStats() const
+        { return device.aggregateStats(); }
+
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writes() const { return writes_.value(); }
+
+  private:
+    dram::DramSystem device;
+    Counter reads_;
+    Counter writes_;
+};
+
+} // namespace accord::nvm
+
+#endif // ACCORD_NVM_NVM_SYSTEM_HPP

@@ -1,0 +1,87 @@
+#include "sim/core_model.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace accord::sim
+{
+
+CoreModel::CoreModel(unsigned id, const CoreParams &params,
+                     trace::WritebackMixer &stream,
+                     dramcache::DramCacheController &cache,
+                     EventQueue &eq)
+    : id_(id), params(params), stream(stream), cache(cache), eq(eq)
+{
+    ACCORD_ASSERT(params.mpki > 0.0, "core needs a positive MPKI");
+    ACCORD_ASSERT(params.mlp >= 1, "core needs at least one MSHR");
+    gap_cycles = std::max<Cycle>(
+        1, static_cast<Cycle>(instrPerAccess() * params.baseCpi));
+}
+
+void
+CoreModel::start()
+{
+    start_time = eq.now();
+    next_ready = eq.now();
+    tryIssue();
+}
+
+void
+CoreModel::tryIssue()
+{
+    while (issued < params.quota && outstanding < params.mlp) {
+        if (eq.now() < next_ready) {
+            if (!issue_scheduled) {
+                issue_scheduled = true;
+                eq.scheduleAt(next_ready, [this] {
+                    issue_scheduled = false;
+                    tryIssue();
+                });
+            }
+            return;
+        }
+
+        // Drain any writebacks interleaved in the stream: they are
+        // posted and do not consume an MSHR or pacing slot.
+        trace::L4Access access = stream.next();
+        while (access.isWriteback) {
+            cache.writeback(access.line);
+            access = stream.next();
+        }
+
+        ++issued;
+        ++outstanding;
+        next_ready = std::max(eq.now(), next_ready) + gap_cycles;
+        cache.read(access.line, [this](bool, Cycle when) {
+            onReadDone(when);
+        });
+    }
+}
+
+void
+CoreModel::onReadDone(Cycle when)
+{
+    --outstanding;
+    ++completed;
+    if (completed == params.quota) {
+        finish_time = when;
+        return;
+    }
+    tryIssue();
+}
+
+double
+CoreModel::ipc() const
+{
+    ACCORD_ASSERT(finished(), "ipc() before the core finished");
+    const double cycles =
+        static_cast<double>(finish_time - start_time);
+    if (cycles <= 0.0)
+        return 0.0;
+    const double instructions =
+        static_cast<double>(params.quota) * instrPerAccess();
+    return instructions / cycles;
+}
+
+} // namespace accord::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Timed core model.
+ *
+ * Each core replays its workload's L4-bound stream against the DRAM
+ * cache: demand reads are paced by a compute gap derived from the
+ * benchmark's L3 MPKI (a 2-wide core at base CPI executes
+ * 1000/MPKI instructions between misses) and bounded by a miss-level
+ * parallelism window; writebacks are posted for free.  IPC over the
+ * timed phase feeds the weighted-speedup metric (Section III-B).
+ */
+
+#ifndef ACCORD_SIM_CORE_MODEL_HPP
+#define ACCORD_SIM_CORE_MODEL_HPP
+
+#include <cstdint>
+
+#include "common/event_queue.hpp"
+#include "dramcache/controller.hpp"
+#include "trace/generator.hpp"
+
+namespace accord::sim
+{
+
+/** Per-core timing parameters. */
+struct CoreParams
+{
+    /** L3 misses per kilo-instruction of this core's benchmark. */
+    double mpki = 10.0;
+
+    /** Base CPI of the 2-wide core when not memory-stalled. */
+    double baseCpi = 0.5;
+
+    /** Outstanding demand reads the core can sustain. */
+    unsigned mlp = 4;
+
+    /** Demand reads to issue in the timed phase. */
+    std::uint64_t quota = 6000;
+};
+
+/** One timed core. */
+class CoreModel
+{
+  public:
+    CoreModel(unsigned id, const CoreParams &params,
+              trace::WritebackMixer &stream,
+              dramcache::DramCacheController &cache, EventQueue &eq);
+
+    CoreModel(const CoreModel &) = delete;
+    CoreModel &operator=(const CoreModel &) = delete;
+
+    /** Begin issuing (call once, before running the queue). */
+    void start();
+
+    /** All quota reads have completed. */
+    bool finished() const { return completed >= params.quota; }
+
+    /** Cycle the last read completed (valid once finished). */
+    Cycle finishTime() const { return finish_time; }
+
+    /** Instructions per cycle over the timed phase. */
+    double ipc() const;
+
+    /** Instructions represented by one demand read. */
+    double instrPerAccess() const { return 1000.0 / params.mpki; }
+
+    unsigned id() const { return id_; }
+
+  private:
+    void tryIssue();
+    void onReadDone(Cycle when);
+
+    unsigned id_;
+    CoreParams params;
+    trace::WritebackMixer &stream;
+    dramcache::DramCacheController &cache;
+    EventQueue &eq;
+
+    Cycle gap_cycles;
+    Cycle next_ready = 0;
+    Cycle start_time = 0;
+    Cycle finish_time = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    unsigned outstanding = 0;
+    bool issue_scheduled = false;
+};
+
+} // namespace accord::sim
+
+#endif // ACCORD_SIM_CORE_MODEL_HPP

@@ -1,0 +1,32 @@
+#include "sim/energy.hpp"
+
+namespace accord::sim
+{
+
+EnergyBreakdown
+computeEnergy(const dram::DeviceStats &hbm, const dram::DeviceStats &nvm,
+              Cycle cycles, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    const double pj = 1e-12;
+
+    const double hbm_ops =
+        static_cast<double>(hbm.readsServed + hbm.writesServed);
+    const double hbm_acts = hbm_ops - static_cast<double>(hbm.rowHits);
+    e.cacheEnergyJ = (hbm_acts * params.hbmActivatePj
+                      + hbm_ops * params.hbmTransferPj) * pj;
+
+    e.memEnergyJ = (static_cast<double>(nvm.readsServed)
+                        * params.nvmReadPj
+                    + static_cast<double>(nvm.writesServed)
+                          * params.nvmWritePj) * pj;
+
+    e.seconds = static_cast<double>(cycles) / (params.cpuGhz * 1e9);
+    e.backgroundJ =
+        (params.hbmBackgroundW + params.nvmBackgroundW) * e.seconds;
+
+    e.totalJ = e.cacheEnergyJ + e.memEnergyJ + e.backgroundJ;
+    return e;
+}
+
+} // namespace accord::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytic off-chip memory-system energy model (paper Section VI-D).
+ *
+ * Energy is composed from device event counts: row activations and
+ * line transfers on the stacked DRAM, array reads and cell programming
+ * on the NVM, plus background power integrated over runtime.  Fig 15
+ * reports these normalized to the direct-mapped baseline, so only the
+ * relative magnitudes matter.
+ */
+
+#ifndef ACCORD_SIM_ENERGY_HPP
+#define ACCORD_SIM_ENERGY_HPP
+
+#include "common/types.hpp"
+#include "dram/dram_system.hpp"
+
+namespace accord::sim
+{
+
+/** Per-event energies (pJ) and background powers (W). */
+struct EnergyParams
+{
+    double hbmActivatePj = 900.0;
+    double hbmTransferPj = 450.0;
+    double hbmBackgroundW = 2.0;
+
+    double nvmReadPj = 2500.0;
+    double nvmWritePj = 16000.0;
+    double nvmBackgroundW = 1.0;
+
+    double cpuGhz = 3.0;
+};
+
+/** Energy accounting for one run. */
+struct EnergyBreakdown
+{
+    double cacheEnergyJ = 0.0;
+    double memEnergyJ = 0.0;
+    double backgroundJ = 0.0;
+    double totalJ = 0.0;
+    double seconds = 0.0;
+
+    /** Average power in watts. */
+    double powerW() const { return seconds > 0 ? totalJ / seconds : 0; }
+
+    /** Energy-delay product (J * s). */
+    double edp() const { return totalJ * seconds; }
+};
+
+/** Compose the energy breakdown from device stats and runtime. */
+EnergyBreakdown
+computeEnergy(const dram::DeviceStats &hbm, const dram::DeviceStats &nvm,
+              Cycle cycles, const EnergyParams &params = {});
+
+} // namespace accord::sim
+
+#endif // ACCORD_SIM_ENERGY_HPP

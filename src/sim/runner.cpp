@@ -1,0 +1,109 @@
+#include "sim/runner.hpp"
+
+#include "common/log.hpp"
+
+namespace accord::sim
+{
+
+SystemMetrics
+runSystem(const SystemConfig &config)
+{
+    System system(config);
+    return system.run();
+}
+
+double
+weightedSpeedup(const SystemMetrics &config,
+                const SystemMetrics &baseline)
+{
+    ACCORD_ASSERT(config.coreIpc.size() == baseline.coreIpc.size()
+                      && !config.coreIpc.empty(),
+                  "weighted speedup needs matching timed runs");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < config.coreIpc.size(); ++i) {
+        ACCORD_ASSERT(baseline.coreIpc[i] > 0.0,
+                      "baseline core IPC must be positive");
+        sum += config.coreIpc[i] / baseline.coreIpc[i];
+    }
+    return sum / static_cast<double>(config.coreIpc.size());
+}
+
+void
+applyCliOverrides(SystemConfig &config, const Config &cli)
+{
+    if (cli.getBool("full", false))
+        config.scale = 1;
+    config.scale = cli.getUint("scale", config.scale);
+    config.numCores =
+        static_cast<unsigned>(cli.getUint("cores", config.numCores));
+    config.timedPerCore = cli.getUint("timed", config.timedPerCore);
+    config.warmPerCore = cli.getUint("warm", config.warmPerCore);
+    config.measurePerCore =
+        cli.getUint("measure", config.measurePerCore);
+    config.seed = cli.getUint("seed", config.seed);
+    config.mlp = static_cast<unsigned>(cli.getUint("mlp", config.mlp));
+}
+
+SystemConfig
+baselineConfig(const std::string &workload)
+{
+    SystemConfig config;
+    config.workload = workload;
+    config.ways = 1;
+    config.policySpec.clear();
+    return config;
+}
+
+SystemConfig
+namedConfig(const std::string &workload,
+            const std::string &config_name)
+{
+    SystemConfig config = baselineConfig(workload);
+    if (config_name == "dm")
+        return config;
+    if (config_name == "ca") {
+        config.org = dramcache::Organization::ColumnAssoc;
+        return config;
+    }
+
+    // "<N>way-<mode-or-policy>"
+    const auto dash = config_name.find('-');
+    const auto way_pos = config_name.find("way");
+    if (dash == std::string::npos || way_pos == std::string::npos
+        || way_pos == 0 || dash < way_pos)
+        fatal("bad config name '%s'", config_name.c_str());
+
+    config.ways = static_cast<unsigned>(
+        std::stoul(config_name.substr(0, way_pos)));
+    const std::string tail = config_name.substr(dash + 1);
+
+    if (tail == "lru") {
+        // The LRU-in-DRAM ablation (paper footnote 2): serial lookup,
+        // no steering, recency updates cost array writes.
+        config.lookup = dramcache::LookupMode::Serial;
+        config.replacement = dramcache::L4Replacement::Lru;
+    } else if (tail == "parallel") {
+        config.lookup = dramcache::LookupMode::Parallel;
+    } else if (tail == "serial") {
+        config.lookup = dramcache::LookupMode::Serial;
+    } else if (tail == "ideal") {
+        config.lookup = dramcache::LookupMode::Ideal;
+    } else {
+        config.lookup = dramcache::LookupMode::Predicted;
+        config.policySpec = tail;
+    }
+    return config;
+}
+
+const SystemMetrics &
+BaselineCache::get(const std::string &workload, const Config &cli)
+{
+    const auto it = cache.find(workload);
+    if (it != cache.end())
+        return it->second;
+    SystemConfig config = baselineConfig(workload);
+    applyCliOverrides(config, cli);
+    return cache.emplace(workload, runSystem(config)).first->second;
+}
+
+} // namespace accord::sim

@@ -1,0 +1,211 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace accord::sim
+{
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    nvm = std::make_unique<nvm::NvmSystem>(
+        config_.nvmMainMemory ? dram::pcmMainMemoryTiming()
+                              : dram::ddrMainMemoryTiming(),
+        eq);
+
+    dramcache::DramCacheParams cache_params;
+    cache_params.capacityBytes = config_.cacheBytes();
+    cache_params.ways = config_.ways;
+    cache_params.org = config_.org;
+    cache_params.lookup = config_.lookup;
+    cache_params.dcpWayBits = config_.dcpWayBits;
+    cache_params.replacement = config_.replacement;
+    cache_params.layout = config_.layout;
+    cache_params.seed = config_.seed * 0x9e3779b9ULL + 0x7;
+
+    std::unique_ptr<core::WayPolicy> policy;
+    if (!config_.policySpec.empty()) {
+        core::CacheGeometry geom;
+        geom.ways = config_.ways;
+        geom.sets = cache_params.capacityBytes / lineSize / config_.ways;
+        core::PolicyOptions opts = config_.policyOpts;
+        opts.seed = mix64(config_.seed ^ 0xacc0d);
+        policy = core::makePolicy(config_.policySpec, geom, opts);
+    }
+
+    cache_ = std::make_unique<dramcache::DramCacheController>(
+        cache_params, std::move(policy), dram::hbmCacheTiming(), eq,
+        *nvm);
+
+    assignment =
+        trace::coreAssignment(config_.workload, config_.numCores);
+    for (unsigned core = 0; core < config_.numCores; ++core) {
+        const trace::WorkloadGenParams gen_params =
+            trace::generatorParams(*assignment[core], core,
+                                   config_.numCores, config_.scale,
+                                   config_.seed);
+        generators.push_back(
+            std::make_unique<trace::WorkloadGen>(gen_params));
+        mixers.push_back(std::make_unique<trace::WritebackMixer>(
+            *generators.back(), assignment[core]->wbFrac, config_.wbLag,
+            mix64(config_.seed * 977 + core)));
+        if (config_.fullHierarchy) {
+            hierarchies.push_back(std::make_unique<cache::Hierarchy>(
+                cache::HierarchyParams{}));
+            write_rngs.emplace_back(mix64(config_.seed * 31 + core));
+        }
+    }
+    if (config_.fullHierarchy && config_.runTimed)
+        fatal("full-hierarchy mode supports functional runs only "
+              "(set runTimed=false)");
+}
+
+System::~System() = default;
+
+void
+System::warm()
+{
+    // Auto quota: enough passes over each core's footprint to reach a
+    // steady-state cache population.
+    std::vector<std::uint64_t> remaining(config_.numCores);
+    for (unsigned core = 0; core < config_.numCores; ++core) {
+        if (config_.warmPerCore > 0) {
+            remaining[core] = config_.warmPerCore;
+        } else {
+            remaining[core] = std::max<std::uint64_t>(
+                50'000,
+                generators[core]->params().footprintLines
+                    * assignment[core]->warmPasses);
+        }
+    }
+
+    // Fine-grained round-robin so cores interleave in the sets the way
+    // concurrent execution would.
+    bool any = true;
+    constexpr unsigned chunk = 8;
+    while (any) {
+        any = false;
+        for (unsigned core = 0; core < config_.numCores; ++core) {
+            const std::uint64_t n =
+                std::min<std::uint64_t>(chunk, remaining[core]);
+            for (std::uint64_t i = 0; i < n; ++i)
+                funcAccess(core);
+            remaining[core] -= n;
+            any = any || remaining[core] > 0;
+        }
+    }
+}
+
+void
+System::measureFunctional()
+{
+    std::vector<std::uint64_t> remaining(config_.numCores,
+                                         config_.measurePerCore);
+    bool any = config_.measurePerCore > 0;
+    constexpr unsigned chunk = 8;
+    while (any) {
+        any = false;
+        for (unsigned core = 0; core < config_.numCores; ++core) {
+            const std::uint64_t n =
+                std::min<std::uint64_t>(chunk, remaining[core]);
+            for (std::uint64_t i = 0; i < n; ++i)
+                funcAccess(core);
+            remaining[core] -= n;
+            any = any || remaining[core] > 0;
+        }
+    }
+}
+
+void
+System::funcAccess(unsigned core)
+{
+    if (!config_.fullHierarchy) {
+        const trace::L4Access access = mixers[core]->next();
+        if (access.isWriteback)
+            cache_->warmWriteback(access.line);
+        else
+            cache_->warmRead(access.line);
+        return;
+    }
+
+    // Full-hierarchy mode: the generator's line is a CPU demand
+    // access; stores follow the benchmark's writeback fraction, and
+    // the hierarchy decides what reaches the L4.
+    const LineAddr line = generators[core]->next();
+    const bool is_write =
+        write_rngs[core].chance(assignment[core]->wbFrac);
+    const cache::FilterResult result =
+        hierarchies[core]->access(line, is_write);
+    for (const cache::L4Transaction &txn : result.toL4) {
+        if (txn.type == AccessType::Writeback)
+            cache_->warmWriteback(txn.line);
+        else
+            cache_->warmRead(txn.line);
+    }
+}
+
+void
+System::runTimed()
+{
+    cores.clear();
+    for (unsigned core = 0; core < config_.numCores; ++core) {
+        CoreParams params;
+        params.mpki = assignment[core]->mpki;
+        params.mlp = config_.mlp;
+        params.quota = config_.timedPerCore;
+        cores.push_back(std::make_unique<CoreModel>(
+            core, params, *mixers[core], *cache_, eq));
+    }
+    for (auto &core : cores)
+        core->start();
+
+    const auto all_done = [this] {
+        for (const auto &core : cores) {
+            if (!core->finished())
+                return false;
+        }
+        return true;
+    };
+    eq.runUntil(all_done);
+    if (!all_done())
+        panic("timed phase deadlocked: event queue drained with "
+              "unfinished cores");
+}
+
+SystemMetrics
+System::run()
+{
+    warm();
+    cache_->resetStats();
+
+    if (config_.runTimed)
+        runTimed();
+    else
+        measureFunctional();
+
+    SystemMetrics m;
+    m.cacheStats = cache_->stats();
+    m.hitRate = m.cacheStats.readHits.rate();
+    m.wpAccuracy = m.cacheStats.wayPrediction.rate();
+    m.transfersPerRead = m.cacheStats.transfersPerRead();
+    m.hbmStats = cache_->hbm().aggregateStats();
+    m.nvmStats = nvm->aggregateStats();
+    if (cache_->policy())
+        m.policyStorageBits = cache_->policy()->storageBits();
+
+    if (config_.runTimed) {
+        Cycle last = 0;
+        for (const auto &core : cores) {
+            m.coreIpc.push_back(core->ipc());
+            last = std::max(last, core->finishTime());
+        }
+        m.cycles = last;
+        m.energy = computeEnergy(m.hbmStats, m.nvmStats, m.cycles);
+    }
+    return m;
+}
+
+} // namespace accord::sim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Full-system assembly: N cores -> DRAM cache -> NVM main memory.
+ *
+ * A System owns one experiment run.  It builds the workload generators
+ * (identical streams for every cache configuration given the same
+ * seed), warms the cache functionally, and then either measures
+ * functional statistics (hit rate, way-prediction accuracy, transfer
+ * counts) over a long stream or runs the timed phase to obtain
+ * per-core IPC for weighted speedup.
+ */
+
+#ifndef ACCORD_SIM_SYSTEM_HPP
+#define ACCORD_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/event_queue.hpp"
+#include "core/factory.hpp"
+#include "dramcache/controller.hpp"
+#include "nvm/nvm_system.hpp"
+#include "sim/core_model.hpp"
+#include "sim/energy.hpp"
+#include "trace/workloads.hpp"
+
+namespace accord::sim
+{
+
+/** Everything one experiment run needs. */
+struct SystemConfig
+{
+    /** Workload name ("libq", "mix3", ...). */
+    std::string workload = "libq";
+
+    unsigned numCores = 16;
+
+    /** Footprints and cache are both divided by this (DESIGN.md §2). */
+    std::uint64_t scale = 128;
+
+    /** Full-scale cache capacity (paper default: 4GB). */
+    std::uint64_t fullCacheBytes = 4ULL << 30;
+
+    // Cache organization.
+    unsigned ways = 1;
+    dramcache::Organization org = dramcache::Organization::SetAssoc;
+    dramcache::LookupMode lookup = dramcache::LookupMode::Predicted;
+    bool dcpWayBits = true;
+    dramcache::L4Replacement replacement =
+        dramcache::L4Replacement::Random;
+    dramcache::LayoutMode layout = dramcache::LayoutMode::RowCoLocated;
+
+    /**
+     * Main memory below the cache: true = PCM-class NVM (the paper's
+     * system), false = conventional DDR (the Section II-B premise
+     * ablation: associativity buys little when memory is fast).
+     */
+    bool nvmMainMemory = true;
+
+    /** Way policy spec ("" = none; see core::makePolicy). */
+    std::string policySpec;
+    core::PolicyOptions policyOpts;
+
+    /** Functional warmup accesses per core (0 = auto from footprint). */
+    std::uint64_t warmPerCore = 0;
+
+    /** Functional measurement accesses per core (untimed runs). */
+    std::uint64_t measurePerCore = 20000;
+
+    /** Timed demand reads per core (timed runs). */
+    std::uint64_t timedPerCore = 6000;
+
+    /** Run the timed phase (else functional measurement only). */
+    bool runTimed = true;
+
+    unsigned mlp = 8;
+
+    /** Demand-to-writeback lag of the writeback mixer. */
+    unsigned wbLag = 2048;
+
+    /**
+     * Filter each core's stream through a real L1/L2/L3 hierarchy
+     * instead of treating it as the post-L3 miss stream (functional
+     * runs only).  Slower but exercises the full cache stack; the
+     * hierarchy generates the L4 writebacks itself, so the writeback
+     * mixer is bypassed.
+     */
+    bool fullHierarchy = false;
+
+    std::uint64_t seed = 1;
+
+    /** Scaled cache capacity in bytes. */
+    std::uint64_t cacheBytes() const { return fullCacheBytes / scale; }
+};
+
+/** Results of one run. */
+struct SystemMetrics
+{
+    double hitRate = 0.0;
+    double wpAccuracy = 0.0;
+    double transfersPerRead = 0.0;
+
+    /** Per-core IPC (empty for functional-only runs). */
+    std::vector<double> coreIpc;
+    Cycle cycles = 0;
+
+    dramcache::DramCacheStats cacheStats;
+    dram::DeviceStats hbmStats;
+    dram::DeviceStats nvmStats;
+    EnergyBreakdown energy;
+
+    /** SRAM bits the way policy required. */
+    std::uint64_t policyStorageBits = 0;
+};
+
+/** One assembled simulation instance. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+    ~System();
+
+    /** Warm, (measure | run timed), and report. */
+    SystemMetrics run();
+
+    dramcache::DramCacheController &cache() { return *cache_; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    void warm();
+    void measureFunctional();
+    void runTimed();
+
+    /** One functional access for a core (direct or via hierarchy). */
+    void funcAccess(unsigned core);
+
+    SystemConfig config_;
+    EventQueue eq;
+    std::unique_ptr<nvm::NvmSystem> nvm;
+    std::unique_ptr<dramcache::DramCacheController> cache_;
+
+    std::vector<const trace::WorkloadSpec *> assignment;
+    std::vector<std::unique_ptr<trace::WorkloadGen>> generators;
+    std::vector<std::unique_ptr<trace::WritebackMixer>> mixers;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+
+    // Full-hierarchy mode state (empty otherwise).
+    std::vector<std::unique_ptr<cache::Hierarchy>> hierarchies;
+    std::vector<Rng> write_rngs;
+};
+
+} // namespace accord::sim
+
+#endif // ACCORD_SIM_SYSTEM_HPP

@@ -1,0 +1,130 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::trace
+{
+
+std::uint64_t
+physRegionOf(std::uint64_t region, std::uint64_t salt)
+{
+    return mix64(region * 0x100000001b3ULL + salt)
+        & (physRegionSpace - 1);
+}
+
+WorkloadGen::WorkloadGen(const WorkloadGenParams &params)
+    : params_(params), rng(params.seed)
+{
+    ACCORD_ASSERT(params.footprintLines >= linesPerRegion,
+                  "footprint must cover at least one region");
+    total_regions = params.footprintLines / linesPerRegion;
+    hot_regions = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(total_regions) * params.hotPortion));
+    startRun();
+}
+
+void
+WorkloadGen::startRun()
+{
+    const bool hot =
+        rng.chance(params_.hotAccessFrac) || hot_regions == total_regions;
+    unsigned run_len;
+    if (hot) {
+        run_region = rng.below(hot_regions);
+        run_len = params_.hotRunLen;
+    } else {
+        // Cold regions live after the hot ones in workload space.
+        const std::uint64_t cold_count = total_regions - hot_regions;
+        std::uint64_t cold_index;
+        if (params_.coldRandom) {
+            cold_index = rng.below(cold_count);
+        } else {
+            cold_index = cold_scan;
+            cold_scan = (cold_scan + 1) % cold_count;
+        }
+        run_region = hot_regions + cold_index;
+        run_len = params_.coldRunLen;
+    }
+    run_left = std::max(1u, run_len);
+    run_offset = run_len >= linesPerRegion
+        ? 0u
+        : static_cast<unsigned>(rng.below(linesPerRegion));
+}
+
+LineAddr
+WorkloadGen::next()
+{
+    const std::uint64_t phys =
+        physRegionOf(run_region, params_.salt);
+    const LineAddr line =
+        phys * linesPerRegion + (run_offset % linesPerRegion);
+    ++run_offset;
+    if (--run_left == 0)
+        startRun();
+    return line;
+}
+
+CyclicPairGen::CyclicPairGen(std::uint64_t set_count,
+                             unsigned iterations, std::uint64_t seed)
+    : set_count(set_count), iterations(iterations), rng(seed)
+{
+    ACCORD_ASSERT(isPow2(set_count), "set count must be pow2");
+    ACCORD_ASSERT(iterations >= 1, "need at least one iteration");
+    newPair();
+}
+
+void
+CyclicPairGen::newPair()
+{
+    // Two distinct lines that map to the same set: same set index,
+    // different tags.
+    const std::uint64_t set = rng.below(set_count);
+    const std::uint64_t tag_a = rng.next() & 0xffff;
+    std::uint64_t tag_b = rng.next() & 0xffff;
+    if (tag_b == tag_a)
+        tag_b ^= 1;
+    line_a = (tag_a * set_count) | set;
+    line_b = (tag_b * set_count) | set;
+    remaining = iterations * 2;
+    emit_b = false;
+}
+
+LineAddr
+CyclicPairGen::next()
+{
+    if (remaining == 0)
+        newPair();
+    const LineAddr line = emit_b ? line_b : line_a;
+    emit_b = !emit_b;
+    --remaining;
+    return line;
+}
+
+WritebackMixer::WritebackMixer(AccessGenerator &source,
+                               double writeback_frac, unsigned lag,
+                               std::uint64_t seed)
+    : source(source), wb_frac(writeback_frac), lag(lag), rng(seed)
+{
+    ACCORD_ASSERT(writeback_frac >= 0.0 && writeback_frac < 1.0,
+                  "writeback fraction must be in [0,1)");
+}
+
+L4Access
+WritebackMixer::next()
+{
+    if (pending.size() >= lag) {
+        const LineAddr line = pending.front();
+        pending.pop_front();
+        return {line, true};
+    }
+    const LineAddr line = source.next();
+    if (wb_frac > 0.0 && rng.chance(wb_frac))
+        pending.push_back(line);
+    return {line, false};
+}
+
+} // namespace accord::trace

@@ -1,0 +1,119 @@
+#include "trace/trace_file.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace accord::trace
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'A', 'C', 'R', 'D', 'T', 'R', 'C', '1'};
+constexpr std::size_t recordBytes = 9;
+
+void
+encode(const L4Access &access, unsigned char *out)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<unsigned char>(access.line >> (8 * i));
+    out[8] = access.isWriteback ? 1 : 0;
+}
+
+L4Access
+decode(const unsigned char *in)
+{
+    L4Access access;
+    for (int i = 0; i < 8; ++i)
+        access.line |= static_cast<LineAddr>(in[i]) << (8 * i);
+    access.isWriteback = (in[8] & 1) != 0;
+    return access;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    if (std::fwrite(magic, 1, sizeof magic, file) != sizeof magic)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const L4Access &access)
+{
+    ACCORD_ASSERT(file != nullptr, "trace writer already closed");
+    unsigned char buffer[recordBytes];
+    encode(access, buffer);
+    if (std::fwrite(buffer, 1, recordBytes, file) != recordBytes)
+        fatal("short write to trace file");
+    ++records;
+}
+
+void
+TraceWriter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+TraceReplay::TraceReplay(const std::string &path, bool loop)
+    : loop(loop)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    char header[sizeof magic];
+    if (std::fread(header, 1, sizeof header, file) != sizeof header
+        || std::memcmp(header, magic, sizeof magic) != 0) {
+        std::fclose(file);
+        fatal("'%s' is not an ACCORD trace file", path.c_str());
+    }
+
+    unsigned char buffer[recordBytes];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, recordBytes, file)) > 0) {
+        if (got != recordBytes) {
+            std::fclose(file);
+            fatal("'%s' is truncated mid-record", path.c_str());
+        }
+        accesses.push_back(decode(buffer));
+    }
+    std::fclose(file);
+
+    if (accesses.empty())
+        fatal("trace file '%s' contains no records", path.c_str());
+}
+
+L4Access
+TraceReplay::next()
+{
+    if (cursor >= accesses.size()) {
+        exhausted_ = true;
+        if (!loop)
+            return accesses.back();
+        cursor = 0;
+    }
+    return accesses[cursor++];
+}
+
+void
+TraceReplay::rewind()
+{
+    cursor = 0;
+    exhausted_ = false;
+}
+
+} // namespace accord::trace

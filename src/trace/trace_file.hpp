@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Recording and replay of L4 access streams.
+ *
+ * Users with real traces (e.g. post-LLC miss streams captured from a
+ * binary-instrumentation tool) can convert them to this format and
+ * drive the DRAM cache with them instead of the synthetic models.  The
+ * format is a flat binary stream: an 8-byte header ("ACRDTRC1"), then
+ * one 9-byte record per access — 8-byte little-endian line address
+ * plus a flags byte (bit 0: writeback).
+ */
+
+#ifndef ACCORD_TRACE_TRACE_FILE_HPP
+#define ACCORD_TRACE_TRACE_FILE_HPP
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace accord::trace
+{
+
+/** Writes an access stream to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one access. */
+    void append(const L4Access &access);
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+    std::uint64_t recordsWritten() const { return records; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t records = 0;
+};
+
+/** Replays a trace file, optionally looping at the end. */
+class TraceReplay
+{
+  public:
+    /**
+     * Load a trace into memory; fatal() on a missing or malformed
+     * file.
+     *
+     * @param loop wrap around at end-of-trace (next() never runs dry)
+     */
+    explicit TraceReplay(const std::string &path, bool loop = true);
+
+    /** Number of records in the trace. */
+    std::uint64_t size() const { return accesses.size(); }
+
+    /** True if the cursor wrapped (or hit the end in no-loop mode). */
+    bool exhausted() const { return exhausted_; }
+
+    /** Next access; in no-loop mode repeats the last one when dry. */
+    L4Access next();
+
+    /** Rewind to the beginning. */
+    void rewind();
+
+  private:
+    std::vector<L4Access> accesses;
+    std::size_t cursor = 0;
+    bool loop;
+    bool exhausted_ = false;
+};
+
+/**
+ * Adapter exposing the demand reads of a TraceReplay as an
+ * AccessGenerator (writeback records are skipped), so a recorded
+ * trace can drive anything the synthetic generators can.
+ */
+class TraceDemandGen : public AccessGenerator
+{
+  public:
+    explicit TraceDemandGen(TraceReplay &replay) : replay(replay) {}
+
+    LineAddr
+    next() override
+    {
+        for (;;) {
+            const L4Access access = replay.next();
+            if (!access.isWriteback)
+                return access.line;
+        }
+    }
+
+  private:
+    TraceReplay &replay;
+};
+
+} // namespace accord::trace
+
+#endif // ACCORD_TRACE_TRACE_FILE_HPP

@@ -1,0 +1,251 @@
+#include "trace/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace accord::trace
+{
+
+namespace
+{
+
+/** Helper to keep the table below readable. */
+WorkloadSpec
+spec(const char *name, const char *suite, double fp_gb, double mpki,
+     double hot_portion, double hot_frac, unsigned hot_run,
+     unsigned cold_run, bool cold_random, double wb_frac,
+     bool sensitive)
+{
+    WorkloadSpec s;
+    s.name = name;
+    s.suite = suite;
+    s.footprintGB = fp_gb;
+    s.mpki = mpki;
+    s.hotPortion = hot_portion;
+    s.hotAccessFrac = hot_frac;
+    s.hotRunLen = hot_run;
+    s.coldRunLen = cold_run;
+    s.coldRandom = cold_random;
+    s.wbFrac = wb_frac;
+    s.sensitiveSet = sensitive;
+    return s;
+}
+
+std::vector<WorkloadSpec>
+buildBenchmarks()
+{
+    std::vector<WorkloadSpec> v;
+
+    // --- the 11 SPEC benchmarks of Table IV (associativity study) ---
+    //    name      suite   fpGB  mpki  hotP  hotF  hR  cR  rnd  wb    main
+    v.push_back(spec("soplex", "spec", 8.60, 43.2, 0.160, 0.60, 16, 16,
+                     false, 0.30, true));
+    v.push_back(spec("leslie", "spec", 6.50, 33.6, 0.120, 0.62, 32, 32,
+                     false, 0.30, true));
+    v.push_back(spec("libq", "spec", 2.20, 40.0, 1.00, 1.00, 64, 64,
+                     false, 0.15, true));
+    v.push_back(spec("gcc", "spec", 2.20, 25.6, 0.150, 0.72, 8, 8,
+                     false, 0.35, true));
+    v.push_back(spec("zeusmp", "spec", 3.20, 8.0, 0.100, 0.70, 32, 32,
+                     false, 0.30, true));
+    v.push_back(spec("wrf", "spec", 2.50, 12.8, 0.120, 0.70, 32, 32,
+                     false, 0.30, true));
+    v.push_back(spec("omnet", "spec", 2.50, 33.6, 0.110, 0.66, 4, 4,
+                     true, 0.35, true));
+    v.push_back(spec("xalanc", "spec", 1.90, 3.7, 0.115, 0.76, 8, 8,
+                     false, 0.25, true));
+    v.push_back(spec("mcf", "spec", 6.80, 108.8, 0.040, 0.54, 1, 1,
+                     true, 0.30, true));
+    v.push_back(spec("sphinx", "spec", 0.50, 19.2, 0.160, 0.90, 16, 16,
+                     false, 0.10, true));
+    v.push_back(spec("milc", "spec", 9.00, 20.8, 0.010, 0.50, 16, 16,
+                     false, 0.35, true));
+
+    // --- GAP graph analytics (twitter and web sk-2005 inputs) -------
+    v.push_back(spec("pr_twi", "gap", 4.80, 49.6, 0.050, 0.64, 1, 1,
+                     true, 0.25, true));
+    v.push_back(spec("cc_twi", "gap", 4.80, 43.2, 0.050, 0.64, 1, 1,
+                     true, 0.25, true));
+    v.push_back(spec("bc_twi", "gap", 6.10, 30.4, 0.050, 0.62, 2, 1,
+                     true, 0.25, true));
+    v.push_back(spec("pr_web", "gap", 6.40, 14.4, 0.045, 0.62, 8, 4,
+                     true, 0.25, true));
+    v.push_back(spec("cc_web", "gap", 6.40, 12.8, 0.045, 0.62, 8, 4,
+                     true, 0.25, true));
+    v.push_back(spec("bc_web", "gap", 6.00, 11.2, 0.045, 0.62, 8, 4,
+                     true, 0.25, false));
+
+    // --- HPC ---------------------------------------------------------
+    v.push_back(spec("nekbone", "hpc", 0.5, 11.2, 1.00, 1.00, 64, 64,
+                     false, 0.25, true));
+
+    // --- remaining SPEC (not associativity-sensitive; Section VI-A) --
+    v.push_back(spec("perlbench", "spec", 0.25, 1.3, 0.70, 0.90, 8, 8,
+                     false, 0.25, false));
+    v.push_back(spec("bzip2", "spec", 0.9, 5.1, 0.60, 0.85, 16, 16,
+                     false, 0.30, false));
+    v.push_back(spec("bwaves", "spec", 1.6, 14.4, 0.80, 0.90, 64, 64,
+                     false, 0.30, false));
+    v.push_back(spec("gamess", "spec", 0.1, 0.5, 0.80, 0.95, 8, 8,
+                     false, 0.15, false));
+    v.push_back(spec("gromacs", "spec", 0.2, 1.0, 0.80, 0.90, 16, 16,
+                     false, 0.20, false));
+    v.push_back(spec("cactus", "spec", 1.4, 7.2, 0.70, 0.85, 32, 32,
+                     false, 0.30, false));
+    v.push_back(spec("namd", "spec", 0.15, 0.6, 0.80, 0.95, 16, 16,
+                     false, 0.15, false));
+    v.push_back(spec("gobmk", "spec", 0.2, 1.1, 0.70, 0.90, 4, 4,
+                     false, 0.25, false));
+    v.push_back(spec("dealII", "spec", 0.5, 3.4, 0.70, 0.85, 8, 8,
+                     false, 0.25, false));
+    v.push_back(spec("povray", "spec", 0.05, 0.2, 0.90, 0.95, 8, 8,
+                     false, 0.10, false));
+    v.push_back(spec("calculix", "spec", 0.3, 1.4, 0.75, 0.90, 16, 16,
+                     false, 0.20, false));
+    v.push_back(spec("hmmer", "spec", 0.3, 1.8, 0.80, 0.90, 16, 16,
+                     false, 0.20, false));
+    v.push_back(spec("sjeng", "spec", 2.8, 4.0, 0.40, 0.75, 2, 2,
+                     true, 0.25, false));
+    v.push_back(spec("gems", "spec", 1.7, 16.0, 0.75, 0.85, 32, 32,
+                     false, 0.35, false));
+    v.push_back(spec("h264", "spec", 0.2, 0.8, 0.80, 0.90, 16, 16,
+                     false, 0.20, false));
+    v.push_back(spec("tonto", "spec", 0.1, 0.5, 0.85, 0.95, 8, 8,
+                     false, 0.15, false));
+    v.push_back(spec("lbm", "spec", 6.4, 35.2, 0.10, 0.30, 64, 64,
+                     false, 0.40, false));
+    v.push_back(spec("astar", "spec", 1.3, 6.4, 0.55, 0.80, 2, 2,
+                     true, 0.30, false));
+
+    // Scanning workloads: PWS needs many footprint passes to resolve
+    // conflicting pairs (Fig 6), so give them deeper warmup.
+    for (WorkloadSpec &s : v) {
+        if (s.name == "libq")
+            s.warmPasses = 30;
+        else if (s.name == "nekbone" || s.name == "bwaves")
+            s.warmPasses = 16;
+    }
+
+    return v;
+}
+
+/** SPEC benchmarks with MPKI >= 2, the mix candidate pool (III-B). */
+std::vector<const WorkloadSpec *>
+mixPool()
+{
+    std::vector<const WorkloadSpec *> pool;
+    for (const WorkloadSpec &s : allBenchmarks()) {
+        if (s.suite == "spec" && s.mpki >= 2.0)
+            pool.push_back(&s);
+    }
+    return pool;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+allBenchmarks()
+{
+    static const std::vector<WorkloadSpec> benchmarks =
+        buildBenchmarks();
+    return benchmarks;
+}
+
+const WorkloadSpec &
+findBenchmark(const std::string &name)
+{
+    for (const WorkloadSpec &s : allBenchmarks()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+bool
+isMix(const std::string &name)
+{
+    return name.size() > 3 && name.compare(0, 3, "mix") == 0;
+}
+
+std::vector<std::string>
+mainWorkloadNames()
+{
+    return {"milc", "sphinx", "nekbone", "cc_web", "pr_web", "mcf",
+            "xalanc", "bc_twi", "pr_twi", "cc_twi", "omnet", "wrf",
+            "zeusmp", "gcc", "libq", "leslie", "soplex",
+            "mix1", "mix2", "mix3", "mix4"};
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadSpec &s : allBenchmarks())
+        names.push_back(s.name);
+    for (int i = 1; i <= 10; ++i)
+        names.push_back("mix" + std::to_string(i));
+    return names;
+}
+
+std::vector<const WorkloadSpec *>
+coreAssignment(const std::string &workload, unsigned num_cores)
+{
+    std::vector<const WorkloadSpec *> assignment;
+    assignment.reserve(num_cores);
+
+    if (!isMix(workload)) {
+        const WorkloadSpec &s = findBenchmark(workload);
+        for (unsigned core = 0; core < num_cores; ++core)
+            assignment.push_back(&s);
+        return assignment;
+    }
+
+    const int mix_id = std::stoi(workload.substr(3));
+    if (mix_id < 1 || mix_id > 10)
+        fatal("mix id out of range in '%s'", workload.c_str());
+
+    // Deterministic shuffled pick from the >=2-MPKI pool: stride
+    // through the pool with a mix-specific phase and step.
+    const auto pool = mixPool();
+    const std::size_t n = pool.size();
+    ACCORD_ASSERT(n >= 4, "mix pool too small");
+    for (unsigned core = 0; core < num_cores; ++core) {
+        const std::size_t index =
+            (static_cast<std::size_t>(mix_id) * 7 + core * 5
+             + (core % 3) * static_cast<std::size_t>(mix_id))
+            % n;
+        assignment.push_back(pool[index]);
+    }
+    return assignment;
+}
+
+WorkloadGenParams
+generatorParams(const WorkloadSpec &spec, unsigned core,
+                unsigned num_cores, std::uint64_t scale,
+                std::uint64_t seed)
+{
+    WorkloadGenParams p;
+    const double total_lines =
+        spec.footprintGB * (1024.0 * 1024.0 * 1024.0 / lineSize);
+    const double per_core = total_lines
+        / static_cast<double>(scale) / static_cast<double>(num_cores);
+    p.footprintLines = std::max<std::uint64_t>(
+        linesPerRegion * 4, static_cast<std::uint64_t>(per_core));
+    p.hotPortion = spec.hotPortion;
+    p.hotAccessFrac = spec.hotAccessFrac;
+    p.hotRunLen = spec.hotRunLen;
+    p.coldRunLen = spec.coldRunLen;
+    p.coldRandom = spec.coldRandom;
+
+    // Distinct physical pages per (workload, core).
+    std::uint64_t salt = 0xcafef00dULL + core * 0x9e3779b9ULL;
+    for (const char c : spec.name)
+        salt = salt * 131 + static_cast<unsigned char>(c);
+    p.salt = mix64(salt);
+    p.seed = mix64(seed ^ (salt + core));
+    return p;
+}
+
+} // namespace accord::trace

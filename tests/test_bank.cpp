@@ -1,0 +1,128 @@
+/** @file Unit tests for the bank timing state machine. */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hpp"
+
+using namespace accord;
+using namespace accord::dram;
+
+namespace
+{
+
+TimingParams
+simpleTiming()
+{
+    TimingParams p;
+    p.tCas = 10;
+    p.tRcd = 20;
+    p.tRp = 15;
+    p.tRas = 50;
+    p.tWr = 30;
+    p.tBurst = 4;
+    p.tCcd = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(Bank, ColdAccessActivates)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    const auto r = bank.serve(100, 7, false, p);
+    EXPECT_FALSE(r.rowHit);
+    EXPECT_FALSE(r.rowConflict);
+    // ACT at 100, CAS at 100 + tRCD.
+    EXPECT_EQ(r.casAt, 120u);
+    EXPECT_EQ(bank.openRow(), 7u);
+}
+
+TEST(Bank, RowHitPaysOnlySpacing)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    bank.serve(100, 7, false, p);
+    const auto r = bank.serve(130, 7, false, p);
+    EXPECT_TRUE(r.rowHit);
+    EXPECT_EQ(r.casAt, 130u);
+}
+
+TEST(Bank, BackToBackHitsSpacedByCcd)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    const auto r1 = bank.serve(100, 7, false, p);
+    const auto r2 = bank.serve(100, 7, false, p);
+    EXPECT_EQ(r2.casAt, r1.casAt + p.tCcd);
+}
+
+TEST(Bank, ConflictWaitsForRasThenPrecharges)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    bank.serve(100, 7, false, p);   // ACT at 100
+    const auto r = bank.serve(110, 9, false, p);
+    EXPECT_TRUE(r.rowConflict);
+    // PRE cannot happen before ACT(100) + tRAS(50) = 150; then
+    // ACT at 150 + tRP(15) = 165 and CAS at 165 + tRCD(20) = 185.
+    EXPECT_EQ(r.casAt, 185u);
+    EXPECT_EQ(bank.openRow(), 9u);
+}
+
+TEST(Bank, ConflictAfterRasOnlyPaysPreActRcd)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    bank.serve(100, 7, false, p);
+    const auto r = bank.serve(1000, 9, false, p);
+    EXPECT_EQ(r.casAt, 1000 + p.tRp + p.tRcd);
+}
+
+TEST(Bank, WriteRecoveryBlocksNextCommand)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    const auto w = bank.serve(100, 7, true, p);
+    // Next command to the same row must wait for write recovery:
+    // cas + tCAS + tBurst + tWR.
+    const auto r = bank.serve(100, 7, false, p);
+    EXPECT_EQ(r.casAt, w.casAt + p.tCas + p.tBurst + p.tWr);
+}
+
+TEST(Bank, ReadDoesNotPayWriteRecovery)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    const auto r1 = bank.serve(100, 7, false, p);
+    const auto r2 = bank.serve(100, 7, false, p);
+    EXPECT_EQ(r2.casAt - r1.casAt, p.tCcd);
+}
+
+TEST(Bank, WouldHitTracksOpenRow)
+{
+    Bank bank;
+    const auto p = simpleTiming();
+    EXPECT_FALSE(bank.wouldHit(3));
+    bank.serve(0, 3, false, p);
+    EXPECT_TRUE(bank.wouldHit(3));
+    EXPECT_FALSE(bank.wouldHit(4));
+}
+
+/** Property: casAt is monotone in request time for a fixed pattern. */
+class BankMonotone : public ::testing::TestWithParam<Cycle>
+{
+};
+
+TEST_P(BankMonotone, LaterRequestsNeverServeEarlier)
+{
+    const auto p = simpleTiming();
+    Bank a, b;
+    const Cycle t = GetParam();
+    const auto ra = a.serve(t, 1, false, p);
+    const auto rb = b.serve(t + 13, 1, false, p);
+    EXPECT_LE(ra.casAt, rb.casAt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, BankMonotone,
+                         ::testing::Values(0u, 5u, 100u, 1000u, 54321u));

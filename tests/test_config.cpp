@@ -1,0 +1,140 @@
+/** @file Unit tests for the Config key/value table and parseSize. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+using namespace accord;
+
+TEST(ParseSize, PlainDigits)
+{
+    bool ok = false;
+    EXPECT_EQ(parseSize("1234", &ok), 1234u);
+    EXPECT_TRUE(ok);
+}
+
+TEST(ParseSize, Suffixes)
+{
+    bool ok = false;
+    EXPECT_EQ(parseSize("4k", &ok), 4096u);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseSize("2M", &ok), 2ULL << 20);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseSize("4G", &ok), 4ULL << 30);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseSize("1T", &ok), 1ULL << 40);
+    EXPECT_TRUE(ok);
+}
+
+TEST(ParseSize, HumanSuffixes)
+{
+    bool ok = false;
+    EXPECT_EQ(parseSize("4GiB", &ok), 4ULL << 30);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseSize("256MB", &ok), 256ULL << 20);
+    EXPECT_TRUE(ok);
+}
+
+TEST(ParseSize, FractionalBase)
+{
+    bool ok = false;
+    EXPECT_EQ(parseSize("0.5k", &ok), 512u);
+    EXPECT_TRUE(ok);
+}
+
+TEST(ParseSize, Malformed)
+{
+    bool ok = true;
+    parseSize("abc", &ok);
+    EXPECT_FALSE(ok);
+    ok = true;
+    parseSize("12Q", &ok);
+    EXPECT_FALSE(ok);
+    ok = true;
+    parseSize("", &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Config, ParseArgAndGetters)
+{
+    Config c;
+    EXPECT_TRUE(c.parseArg("alpha=3"));
+    EXPECT_TRUE(c.parseArg("beta=2.5"));
+    EXPECT_TRUE(c.parseArg("gamma=yes"));
+    EXPECT_TRUE(c.parseArg("name=hello"));
+    EXPECT_EQ(c.getInt("alpha", 0), 3);
+    EXPECT_DOUBLE_EQ(c.getDouble("beta", 0.0), 2.5);
+    EXPECT_TRUE(c.getBool("gamma", false));
+    EXPECT_EQ(c.getString("name", ""), "hello");
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("missing", false));
+    EXPECT_EQ(c.getString("missing", "d"), "d");
+}
+
+TEST(Config, MalformedArgRejected)
+{
+    Config c;
+    EXPECT_FALSE(c.parseArg("noequals"));
+    EXPECT_FALSE(c.parseArg("=value"));
+}
+
+TEST(Config, SizeSuffixInIntGetter)
+{
+    Config c;
+    c.set("cap", "64M");
+    EXPECT_EQ(c.getUint("cap", 0), 64ULL << 20);
+}
+
+TEST(Config, OverwriteKeepsLast)
+{
+    Config c;
+    c.set("k", "1");
+    c.set("k", "2");
+    EXPECT_EQ(c.getInt("k", 0), 2);
+}
+
+TEST(Config, HasReflectsExplicitKeys)
+{
+    Config c;
+    EXPECT_FALSE(c.has("x"));
+    c.set("x", "1");
+    EXPECT_TRUE(c.has("x"));
+}
+
+TEST(ConfigDeath, UnconsumedKeyIsFatal)
+{
+    Config c;
+    c.set("typo", "1");
+    EXPECT_EXIT(c.checkConsumed(), ::testing::ExitedWithCode(1),
+                "never used");
+}
+
+TEST(ConfigDeath, BadIntIsFatal)
+{
+    Config c;
+    c.set("n", "xyz");
+    EXPECT_EXIT(c.getInt("n", 0), ::testing::ExitedWithCode(1),
+                "cannot parse");
+}
+
+TEST(ConfigDeath, BadBoolIsFatal)
+{
+    Config c;
+    c.set("b", "maybe");
+    EXPECT_EXIT(c.getBool("b", false), ::testing::ExitedWithCode(1),
+                "cannot parse");
+}
+
+TEST(Config, CheckConsumedPassesWhenAllRead)
+{
+    Config c;
+    c.set("a", "1");
+    c.getInt("a", 0);
+    c.checkConsumed();     // must not exit
+}

@@ -1,0 +1,288 @@
+/** @file Functional-path tests of the DRAM-cache controller. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "controller_fixture.hpp"
+
+using namespace accord;
+using namespace accord::test;
+using dramcache::LookupMode;
+using dramcache::Organization;
+
+TEST(FunctionalDm, MissThenHit)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    EXPECT_FALSE(sys->warmRead(1000));
+    EXPECT_TRUE(sys->warmRead(1000));
+    EXPECT_EQ(sys->stats().readHits.hits(), 1u);
+    EXPECT_EQ(sys->stats().nvmReads.value(), 1u);
+}
+
+TEST(FunctionalDm, MissCostsOneProbeOneFill)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    sys->warmRead(7);
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 1u);
+    EXPECT_EQ(sys->stats().cacheWriteTransfers.value(), 1u);
+}
+
+TEST(FunctionalDm, ConflictEvictsAndDirtyVictimGoesToNvm)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    const LineAddr a = sys.lineFor(5, 1);
+    const LineAddr b = sys.lineFor(5, 2);
+    sys->warmRead(a);
+    sys->warmWriteback(a);      // a is now dirty in the cache
+    sys->warmRead(b);           // evicts dirty a
+    EXPECT_EQ(sys->stats().nvmWrites.value(), 1u);
+    EXPECT_FALSE(sys->warmRead(a));     // a was evicted
+}
+
+TEST(FunctionalDm, CleanVictimNoNvmWrite)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    sys->warmRead(sys.lineFor(5, 1));
+    sys->warmRead(sys.lineFor(5, 2));
+    EXPECT_EQ(sys->stats().nvmWrites.value(), 0u);
+}
+
+TEST(FunctionalWriteback, DcpRoutesToCache)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws+gws");
+    sys->warmRead(1234);
+    sys->warmWriteback(1234);
+    EXPECT_EQ(sys->stats().writebacksToCache.value(), 1u);
+    EXPECT_EQ(sys->stats().writebacksToNvm.value(), 0u);
+}
+
+TEST(FunctionalWriteback, AbsentLineGoesToNvm)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws+gws");
+    sys->warmWriteback(1234);   // never read: not in cache
+    EXPECT_EQ(sys->stats().writebacksToNvm.value(), 1u);
+    EXPECT_EQ(sys->stats().nvmWrites.value(), 1u);
+}
+
+TEST(FunctionalWriteback, EvictedLineFallsBackToNvm)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    const LineAddr a = sys.lineFor(9, 1);
+    sys->warmRead(a);
+    sys->warmRead(sys.lineFor(9, 2));   // evicts a
+    sys->warmWriteback(a);
+    EXPECT_EQ(sys->stats().writebacksToNvm.value(), 1u);
+}
+
+TEST(FunctionalWriteback, NoDcpModeProbes)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws", 1ULL << 20,
+                   Organization::SetAssoc, /* dcp */ false);
+    sys->warmRead(77);
+    sys->resetStats();
+    sys->warmWriteback(77);
+    EXPECT_GE(sys->stats().writebackProbeTransfers.value(), 1u);
+    EXPECT_EQ(sys->stats().writebacksToCache.value(), 1u);
+}
+
+TEST(Functional2Way, BothConflictingLinesCanCoReside)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "rand");
+    const LineAddr a = sys.lineFor(5, 2);   // even tag
+    const LineAddr b = sys.lineFor(5, 4);   // even tag, same set
+    // Re-access until the random install separates them.
+    for (int i = 0; i < 64; ++i) {
+        sys->warmRead(a);
+        sys->warmRead(b);
+    }
+    EXPECT_TRUE(sys->warmRead(a));
+    EXPECT_TRUE(sys->warmRead(b));
+}
+
+TEST(Functional2Way, PredictionAccuracyCountsFirstProbe)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws");
+    // PWS with PIP=85%: after enough installs, accuracy over hits
+    // approaches PIP.
+    Rng rng(3);
+    for (int i = 0; i < 40000; ++i) {
+        const LineAddr line = rng.below(4096);
+        sys->warmRead(line);
+    }
+    EXPECT_NEAR(sys->stats().wayPrediction.rate(), 0.85, 0.03);
+}
+
+TEST(Functional2Way, MissConfirmationCountsAllCandidates)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws");
+    sys->warmRead(1);   // miss: 2 candidate probes + 1 fill write
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 2u);
+    EXPECT_EQ(sys->stats().cacheWriteTransfers.value(), 1u);
+}
+
+TEST(FunctionalSws, MissConfirmationIsTwoProbesAt8Way)
+{
+    MiniSystem sys(8, LookupMode::Predicted, "sws");
+    sys->warmRead(1);
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 2u);
+}
+
+TEST(FunctionalSws, LinesOnlyEverInCandidateWays)
+{
+    MiniSystem sys(8, LookupMode::Predicted, "sws+gws");
+    Rng rng(7);
+    std::vector<LineAddr> lines;
+    for (int i = 0; i < 20000; ++i) {
+        const LineAddr line = rng.below(1 << 16);
+        lines.push_back(line);
+        sys->warmRead(line);
+    }
+    // Property: every resident line sits in one of its candidates.
+    const auto &tags = sys->tagStore();
+    const auto &geom = sys->geometry();
+    auto *policy = sys->policy();
+    for (const LineAddr line : lines) {
+        const auto ref = core::LineRef::make(line, geom);
+        const int way = tags.findWay(ref.set, ref.tag);
+        if (way >= 0) {
+            EXPECT_TRUE(policy->candidates(ref) & (1ULL << way))
+                << "line resident outside its SWS candidate ways";
+        }
+    }
+}
+
+TEST(Functional8Way, ParallelCountsAllWaysOnHit)
+{
+    MiniSystem sys(8, LookupMode::Parallel, "");
+    const LineAddr line = 42;
+    sys->warmRead(line);
+    sys->resetStats();
+    sys->warmRead(line);    // hit
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 8u);
+}
+
+TEST(Functional8Way, IdealCountsOneTransferAlways)
+{
+    MiniSystem sys(8, LookupMode::Ideal, "");
+    sys->warmRead(42);      // miss
+    sys->warmRead(42);      // hit
+    // 1 probe each + 1 fill write for the miss.
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 2u);
+    EXPECT_EQ(sys->stats().cacheWriteTransfers.value(), 1u);
+}
+
+TEST(FunctionalSerial, AverageProbesMatchTable1)
+{
+    MiniSystem sys(4, LookupMode::Serial, "");
+    // Fill one set's ways, then measure hit probes.
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i)
+        sys->warmRead(rng.below(8192));
+    sys->resetStats();
+    for (int i = 0; i < 20000; ++i)
+        sys->warmRead(rng.below(8192));
+    // Hits average (N+1)/2 = 2.5 probes in a 4-way serial design.
+    const double hit_rate = sys->stats().readHits.rate();
+    ASSERT_GT(hit_rate, 0.5);
+    // probesPerRead mixes hits (avg 2.5) and misses (4).
+    const double expect =
+        hit_rate * 2.5 + (1.0 - hit_rate) * 4.0;
+    EXPECT_NEAR(sys->stats().probesPerRead.mean(), expect, 0.2);
+}
+
+TEST(FunctionalCa, SecondaryHitSwapsToPrimary)
+{
+    MiniSystem sys(1, LookupMode::Serial, "", 1ULL << 20,
+                   Organization::ColumnAssoc);
+    const std::uint64_t slots = sys->geometry().sets;
+    const LineAddr a = 5;                   // primary slot 5
+    const LineAddr b = 5 + slots;           // same primary slot
+    sys->warmRead(a);   // a at primary
+    sys->warmRead(b);   // b installs at primary, a displaced to pair
+    sys->resetStats();
+    EXPECT_TRUE(sys->warmRead(a));          // hit at secondary
+    EXPECT_EQ(sys->stats().swaps.value(), 1u);
+    // After the swap, a is back at its primary slot.
+    sys->resetStats();
+    sys->warmRead(a);
+    EXPECT_DOUBLE_EQ(sys->stats().wayPrediction.rate(), 1.0);
+}
+
+TEST(FunctionalCa, InstallDisplacesPrimaryOccupant)
+{
+    MiniSystem sys(1, LookupMode::Serial, "", 1ULL << 20,
+                   Organization::ColumnAssoc);
+    const std::uint64_t slots = sys->geometry().sets;
+    const LineAddr a = 9;
+    const LineAddr b = 9 + slots;
+    sys->warmRead(a);
+    sys->warmRead(b);
+    // Both resident: a at the pair slot, b at primary.
+    EXPECT_TRUE(sys->warmRead(b));
+    EXPECT_TRUE(sys->warmRead(a));
+}
+
+TEST(FunctionalCa, EvictedPairDirtyGoesToNvm)
+{
+    MiniSystem sys(1, LookupMode::Serial, "", 1ULL << 20,
+                   Organization::ColumnAssoc);
+    const std::uint64_t slots = sys->geometry().sets;
+    const LineAddr a = 3;
+    const LineAddr b = 3 + slots;
+    const LineAddr c = 3 + 2 * slots;
+    sys->warmRead(a);
+    sys->warmWriteback(a);      // dirty at primary
+    sys->warmRead(b);           // a displaced (dirty) to pair slot
+    sys->warmRead(c);           // b displaced to pair, evicting dirty a
+    EXPECT_GE(sys->stats().nvmWrites.value(), 1u);
+}
+
+TEST(FunctionalOccupancy, NeverExceedsCapacity)
+{
+    MiniSystem sys(4, LookupMode::Predicted, "pws+gws", 256 * 1024);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i)
+        sys->warmRead(rng.next() & 0xffffff);
+    EXPECT_LE(sys->tagStore().occupancy(), sys->geometry().lines());
+}
+
+TEST(FunctionalStats, TransfersPerReadComposition)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        sys->warmRead(rng.below(1 << 15));
+    const auto &s = sys->stats();
+    // DM: reads = 1 per access; writes = 1 per miss.
+    EXPECT_EQ(s.cacheReadTransfers.value(), s.readHits.total());
+    EXPECT_EQ(s.cacheWriteTransfers.value(), s.readHits.misses());
+    EXPECT_NEAR(s.transfersPerRead(),
+                1.0 + (1.0 - s.readHits.rate()), 1e-9);
+}
+
+TEST(FunctionalStats, ResetClearsEverything)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws");
+    sys->warmRead(1);
+    sys->warmWriteback(1);
+    sys->resetStats();
+    const auto &s = sys->stats();
+    EXPECT_EQ(s.readHits.total(), 0u);
+    EXPECT_EQ(s.cacheReadTransfers.value(), 0u);
+    EXPECT_EQ(s.cacheWriteTransfers.value(), 0u);
+    EXPECT_EQ(s.nvmReads.value(), 0u);
+    EXPECT_EQ(s.nvmWrites.value(), 0u);
+}
+
+TEST(FunctionalDescribe, NamesAreInformative)
+{
+    EXPECT_EQ(MiniSystem(1, LookupMode::Serial, "")->describe(),
+              "direct-mapped");
+    EXPECT_EQ(MiniSystem(1, LookupMode::Serial, "", 1ULL << 20,
+                         Organization::ColumnAssoc)
+                  ->describe(),
+              "ca-cache");
+    EXPECT_EQ(MiniSystem(2, LookupMode::Predicted, "pws+gws")
+                  ->describe(),
+              "2-way pws85+gws predicted");
+}

@@ -1,0 +1,237 @@
+/** @file Timed-path tests of the DRAM-cache controller. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "controller_fixture.hpp"
+
+using namespace accord;
+using namespace accord::test;
+using dramcache::LookupMode;
+using dramcache::Organization;
+
+TEST(TimedDm, MissThenHit)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    EXPECT_FALSE(sys.readBlocking(1000));
+    EXPECT_TRUE(sys.readBlocking(1000));
+}
+
+TEST(TimedDm, HitFasterThanMiss)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    sys.readBlocking(1000);
+    sys.eq.run();
+    sys->resetStats();
+    sys.readBlocking(2000);     // miss (new line)
+    sys.readBlocking(1000);     // hit
+    const auto &s = sys->stats();
+    EXPECT_EQ(s.readHits.hits(), 1u);
+    EXPECT_EQ(s.readHits.misses(), 1u);
+    EXPECT_LT(s.readHitLatency.mean(), s.readMissLatency.mean());
+}
+
+TEST(TimedDm, MissLatencyIncludesNvm)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    sys.readBlocking(5);
+    // Probe (HBM round trip) + NVM array read; must exceed the NVM
+    // unloaded latency alone.
+    const auto &nvm_params = sys.nvm.params();
+    EXPECT_GT(sys->stats().readMissLatency.mean(),
+              static_cast<double>(nvm_params.tRcd));
+}
+
+TEST(Timed2Way, PredictedHitTakesOneProbe)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "perfect");
+    sys.readBlocking(42);
+    sys.eq.run();
+    sys->resetStats();
+    EXPECT_TRUE(sys.readBlocking(42));
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 1u);
+    EXPECT_DOUBLE_EQ(sys->stats().wayPrediction.rate(), 1.0);
+}
+
+TEST(Timed2Way, MispredictedHitTakesTwoProbesAndLonger)
+{
+    // Force mispredictions: policy predicts the preferred way, but we
+    // keep re-installing lines until one lands in the other way.
+    MiniSystem sys(2, LookupMode::Predicted, "pws");
+    Rng rng(3);
+    for (int i = 0; i < 3000; ++i)
+        sys->warmRead(rng.below(2048));
+    sys.eq.run();
+    sys->resetStats();
+    for (int i = 0; i < 3000; ++i)
+        sys.readBlocking(rng.below(2048));
+    const auto &s = sys->stats();
+    EXPECT_GT(s.readHits.hits(), 0u);
+    EXPECT_LT(s.wayPrediction.rate(), 1.0);
+    EXPECT_GT(s.wayPrediction.rate(), 0.6);
+}
+
+TEST(TimedParallel, CompletesHitsAndMisses)
+{
+    MiniSystem sys(4, LookupMode::Parallel, "");
+    EXPECT_FALSE(sys.readBlocking(9));
+    EXPECT_TRUE(sys.readBlocking(9));
+    EXPECT_EQ(sys->stats().readHits.total(), 2u);
+    // 4 probes per access.
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 8u);
+}
+
+TEST(TimedIdeal, SingleTransferEachWay)
+{
+    MiniSystem sys(4, LookupMode::Ideal, "");
+    EXPECT_FALSE(sys.readBlocking(9));
+    EXPECT_TRUE(sys.readBlocking(9));
+    EXPECT_EQ(sys->stats().cacheReadTransfers.value(), 2u);
+}
+
+TEST(TimedSerial, SecondWayHitSlowerThanFirst)
+{
+    MiniSystem sys(2, LookupMode::Serial, "");
+    // Install a line and find which way it landed in; compare hit
+    // latency for way-0 vs way-1 residents.
+    Rng rng(11);
+    std::vector<LineAddr> way0, way1;
+    for (int i = 0; i < 2000 && (way0.empty() || way1.empty()); ++i) {
+        const LineAddr line = 100000 + i;
+        sys->warmRead(line);
+        const auto ref = core::LineRef::make(line, sys->geometry());
+        const int way =
+            sys->tagStore().findWay(ref.set, ref.tag);
+        if (way == 0)
+            way0.push_back(line);
+        else if (way == 1)
+            way1.push_back(line);
+    }
+    ASSERT_FALSE(way0.empty());
+    ASSERT_FALSE(way1.empty());
+
+    sys->resetStats();
+    sys.readBlocking(way0.front());
+    const double lat0 = sys->stats().readHitLatency.mean();
+    sys->resetStats();
+    sys.readBlocking(way1.front());
+    const double lat1 = sys->stats().readHitLatency.mean();
+    EXPECT_GT(lat1, lat0);
+}
+
+TEST(TimedWriteback, DcpHitWritesCache)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws+gws");
+    sys.readBlocking(777);
+    sys->writeback(777);
+    sys.eq.run();
+    EXPECT_EQ(sys->stats().writebacksToCache.value(), 1u);
+    EXPECT_TRUE(sys->quiesced());
+}
+
+TEST(TimedWriteback, AbsentGoesToNvmDevice)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws+gws");
+    sys->writeback(777);
+    sys.eq.run();
+    EXPECT_EQ(sys.nvm.writes(), 1u);
+}
+
+TEST(TimedFill, DirtyVictimReachesNvmDevice)
+{
+    MiniSystem sys(1, LookupMode::Serial, "");
+    const LineAddr a = sys.lineFor(5, 1);
+    const LineAddr b = sys.lineFor(5, 2);
+    sys.readBlocking(a);
+    sys->writeback(a);
+    sys.eq.run();
+    sys.readBlocking(b);    // evicts dirty a
+    sys.eq.run();
+    EXPECT_EQ(sys.nvm.writes(), 1u);
+}
+
+TEST(TimedConcurrency, OverlappingSameLineMissesDoNotDuplicate)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws");
+    int done = 0;
+    // Two reads of the same absent line issued back to back.
+    sys->read(4242, [&](bool, Cycle) { ++done; });
+    sys->read(4242, [&](bool, Cycle) { ++done; });
+    sys.eq.run();
+    EXPECT_EQ(done, 2);
+    // Exactly one copy resident.
+    const auto ref = core::LineRef::make(4242, sys->geometry());
+    int copies = 0;
+    for (unsigned way = 0; way < 2; ++way) {
+        if (sys->tagStore().valid(ref.set, way)
+            && sys->tagStore().tag(ref.set, way) == ref.tag)
+            ++copies;
+    }
+    EXPECT_EQ(copies, 1);
+}
+
+TEST(TimedConcurrency, ManyOutstandingReadsComplete)
+{
+    MiniSystem sys(2, LookupMode::Predicted, "pws+gws");
+    Rng rng(13);
+    int done = 0;
+    for (int i = 0; i < 500; ++i)
+        sys->read(rng.below(1 << 14), [&](bool, Cycle) { ++done; });
+    sys.eq.run();
+    EXPECT_EQ(done, 500);
+    EXPECT_TRUE(sys->quiesced());
+}
+
+TEST(TimedCa, ReadsAndSwapsComplete)
+{
+    MiniSystem sys(1, LookupMode::Serial, "", 1ULL << 20,
+                   Organization::ColumnAssoc);
+    const std::uint64_t slots = sys->geometry().sets;
+    const LineAddr a = 5;
+    const LineAddr b = 5 + slots;
+    EXPECT_FALSE(sys.readBlocking(a));
+    EXPECT_FALSE(sys.readBlocking(b));
+    sys.eq.run();
+    EXPECT_TRUE(sys.readBlocking(a));   // secondary hit + swap
+    sys.eq.run();
+    EXPECT_EQ(sys->stats().swaps.value(), 1u);
+    EXPECT_TRUE(sys.readBlocking(a));   // now a primary hit
+}
+
+TEST(TimedDeterminism, SameSeedSameTimeline)
+{
+    auto run = [] {
+        MiniSystem sys(2, LookupMode::Predicted, "pws+gws");
+        Rng rng(17);
+        Cycle last = 0;
+        int remaining = 300;
+        for (int i = 0; i < 300; ++i) {
+            sys->read(rng.below(1 << 12), [&](bool, Cycle when) {
+                last = std::max(last, when);
+                --remaining;
+            });
+        }
+        sys.eq.runUntil([&] { return remaining == 0; });
+        return last;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(TimedVsFunctional, SameSequentialStreamSameHits)
+{
+    // With one access at a time, the timed and functional paths must
+    // produce identical hit/miss sequences given identical policy
+    // seeds.
+    MiniSystem timed(2, LookupMode::Predicted, "pws+gws");
+    MiniSystem warm(2, LookupMode::Predicted, "pws+gws");
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        const LineAddr line = rng.below(1 << 13);
+        EXPECT_EQ(timed.readBlocking(line), warm->warmRead(line))
+            << "diverged at access " << i;
+    }
+    EXPECT_EQ(timed->stats().readHits.hits(),
+              warm->stats().readHits.hits());
+    EXPECT_EQ(timed->stats().wayPrediction.hits(),
+              warm->stats().wayPrediction.hits());
+}

@@ -1,0 +1,143 @@
+/** @file Unit tests for the timed core model. */
+
+#include <gtest/gtest.h>
+
+#include "controller_fixture.hpp"
+#include "sim/core_model.hpp"
+#include "trace/generator.hpp"
+
+using namespace accord;
+using namespace accord::test;
+using namespace accord::sim;
+
+namespace
+{
+
+trace::WorkloadGenParams
+streamParams()
+{
+    trace::WorkloadGenParams p;
+    p.footprintLines = 512 * linesPerRegion;
+    p.hotPortion = 0.5;
+    p.hotAccessFrac = 0.9;
+    p.hotRunLen = 8;
+    p.coldRunLen = 8;
+    p.seed = 3;
+    p.salt = 77;
+    return p;
+}
+
+} // namespace
+
+TEST(CoreModel, CompletesItsQuota)
+{
+    MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+    trace::WorkloadGen gen(streamParams());
+    trace::WritebackMixer mixer(gen, 0.2, 64, 5);
+
+    CoreParams params;
+    params.mpki = 20.0;
+    params.mlp = 4;
+    params.quota = 500;
+    CoreModel core(0, params, mixer, *sys.cache, sys.eq);
+    core.start();
+    sys.eq.runUntil([&] { return core.finished(); });
+    EXPECT_TRUE(core.finished());
+    EXPECT_GT(core.finishTime(), 0u);
+    EXPECT_GT(core.ipc(), 0.0);
+}
+
+TEST(CoreModel, InstrPerAccessFollowsMpki)
+{
+    MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+    trace::WorkloadGen gen(streamParams());
+    trace::WritebackMixer mixer(gen, 0.0, 64, 5);
+    CoreParams params;
+    params.mpki = 25.0;
+    CoreModel core(0, params, mixer, *sys.cache, sys.eq);
+    EXPECT_DOUBLE_EQ(core.instrPerAccess(), 40.0);
+}
+
+TEST(CoreModel, GapBoundsMinimumRuntime)
+{
+    MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+    trace::WorkloadGen gen(streamParams());
+    trace::WritebackMixer mixer(gen, 0.0, 64, 5);
+    CoreParams params;
+    params.mpki = 10.0;     // gap = 100/2 = 50 cycles
+    params.quota = 200;
+    params.mlp = 8;
+    CoreModel core(0, params, mixer, *sys.cache, sys.eq);
+    core.start();
+    sys.eq.runUntil([&] { return core.finished(); });
+    // Even with infinite memory parallelism the core cannot finish
+    // faster than quota * gap.
+    EXPECT_GE(core.finishTime(), 200u * 50u);
+}
+
+TEST(CoreModel, LowerMpkiRunsLongerPerAccess)
+{
+    auto run = [](double mpki) {
+        MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+        trace::WorkloadGen gen(streamParams());
+        trace::WritebackMixer mixer(gen, 0.0, 64, 5);
+        CoreParams params;
+        params.mpki = mpki;
+        params.quota = 300;
+        CoreModel core(0, params, mixer, *sys.cache, sys.eq);
+        core.start();
+        sys.eq.runUntil([&] { return core.finished(); });
+        return core.finishTime();
+    };
+    EXPECT_GT(run(5.0), run(50.0));
+}
+
+TEST(CoreModel, HigherMlpNeverSlower)
+{
+    auto run = [](unsigned mlp) {
+        MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+        trace::WorkloadGenParams p = streamParams();
+        p.hotRunLen = 1;
+        p.coldRunLen = 1;
+        p.coldRandom = true;
+        trace::WorkloadGen gen(p);
+        trace::WritebackMixer mixer(gen, 0.0, 64, 5);
+        CoreParams params;
+        params.mpki = 100.0;    // memory bound
+        params.quota = 400;
+        params.mlp = mlp;
+        CoreModel core(0, params, mixer, *sys.cache, sys.eq);
+        core.start();
+        sys.eq.runUntil([&] { return core.finished(); });
+        return core.finishTime();
+    };
+    EXPECT_GE(run(1), run(8));
+}
+
+TEST(CoreModel, WritebacksDoNotCountTowardQuota)
+{
+    MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+    trace::WorkloadGen gen(streamParams());
+    trace::WritebackMixer mixer(gen, 0.4, 32, 5);
+    CoreParams params;
+    params.quota = 400;
+    CoreModel core(0, params, mixer, *sys.cache, sys.eq);
+    core.start();
+    sys.eq.runUntil([&] { return core.finished(); });
+    // Demand reads equal the quota; writebacks ride on top.
+    EXPECT_EQ(sys->stats().readHits.total(), 400u);
+    EXPECT_GT(sys->stats().writebacksToCache.value()
+                  + sys->stats().writebacksToNvm.value(),
+              0u);
+}
+
+TEST(CoreModelDeath, BadParamsRejected)
+{
+    MiniSystem sys(1, dramcache::LookupMode::Serial, "");
+    trace::WorkloadGen gen(streamParams());
+    trace::WritebackMixer mixer(gen, 0.0, 64, 5);
+    CoreParams params;
+    params.mpki = 0.0;
+    EXPECT_DEATH(CoreModel(0, params, mixer, *sys.cache, sys.eq),
+                 "MPKI");
+}

@@ -1,0 +1,52 @@
+/** @file Unit tests for the DCP (presence + way) directory. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/dcp.hpp"
+
+using namespace accord;
+using namespace accord::dramcache;
+
+TEST(Dcp, AbsentByDefault)
+{
+    DcpDirectory dcp;
+    EXPECT_FALSE(dcp.lookup(42).has_value());
+    EXPECT_EQ(dcp.size(), 0u);
+}
+
+TEST(Dcp, RecordAndLookup)
+{
+    DcpDirectory dcp;
+    dcp.record(42, 3);
+    const auto way = dcp.lookup(42);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(*way, 3u);
+}
+
+TEST(Dcp, RecordOverwrites)
+{
+    DcpDirectory dcp;
+    dcp.record(42, 1);
+    dcp.record(42, 2);
+    EXPECT_EQ(*dcp.lookup(42), 2u);
+    EXPECT_EQ(dcp.size(), 1u);
+}
+
+TEST(Dcp, EraseRemoves)
+{
+    DcpDirectory dcp;
+    dcp.record(42, 1);
+    dcp.erase(42);
+    EXPECT_FALSE(dcp.lookup(42).has_value());
+    dcp.erase(42);      // idempotent
+}
+
+TEST(Dcp, ManyLinesIndependent)
+{
+    DcpDirectory dcp;
+    for (LineAddr line = 0; line < 1000; ++line)
+        dcp.record(line, static_cast<unsigned>(line % 8));
+    for (LineAddr line = 0; line < 1000; ++line)
+        EXPECT_EQ(*dcp.lookup(line), line % 8);
+    EXPECT_EQ(dcp.size(), 1000u);
+}

@@ -1,0 +1,147 @@
+/** @file Unit tests for DramSystem mapping, routing, and presets. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/event_queue.hpp"
+#include "dram/dram_system.hpp"
+
+using namespace accord;
+using namespace accord::dram;
+
+namespace
+{
+
+TimingParams
+smallDevice()
+{
+    TimingParams p;
+    p.channels = 4;
+    p.banksPerChannel = 8;
+    p.rowBytes = 2048;
+    p.capacityBytes = 16ULL << 20;
+    return p;
+}
+
+} // namespace
+
+TEST(DramSystem, MapLineStripesChannelsFirst)
+{
+    EventQueue eq;
+    DramSystem sys(smallDevice(), eq);
+    for (LineAddr line = 0; line < 4; ++line)
+        EXPECT_EQ(sys.mapLine(line).channel, line);
+    EXPECT_EQ(sys.mapLine(4).channel, 0u);
+    EXPECT_EQ(sys.mapLine(4).bank, 1u);
+}
+
+TEST(DramSystem, MapLineIsInjectiveOverCapacity)
+{
+    EventQueue eq;
+    DramSystem sys(smallDevice(), eq);
+    std::set<std::tuple<unsigned, unsigned, std::uint64_t>> seen;
+    const std::uint64_t lines_per_row =
+        smallDevice().rowBytes / lineSize;
+    // Sample line addresses; (channel,bank,row) collides only for
+    // lines sharing a row.
+    for (LineAddr line = 0; line < 4096; ++line) {
+        const PhysLoc loc = sys.mapLine(line);
+        seen.insert({loc.channel, loc.bank, loc.row});
+    }
+    EXPECT_EQ(seen.size(), 4096 / lines_per_row);
+}
+
+TEST(DramSystem, MapLineWithinGeometry)
+{
+    EventQueue eq;
+    const auto p = smallDevice();
+    DramSystem sys(p, eq);
+    for (LineAddr line = 0; line < p.capacityBytes / lineSize;
+         line += 997) {
+        const PhysLoc loc = sys.mapLine(line);
+        EXPECT_LT(loc.channel, p.channels);
+        EXPECT_LT(loc.bank, p.banksPerChannel);
+        EXPECT_LT(loc.row, p.rowsPerBank());
+    }
+}
+
+TEST(DramSystem, AccessLineCompletes)
+{
+    EventQueue eq;
+    DramSystem sys(smallDevice(), eq);
+    int completions = 0;
+    for (LineAddr line = 0; line < 64; ++line)
+        sys.accessLine(line, line % 3 == 0,
+                       [&](Cycle) { ++completions; });
+    eq.run();
+    EXPECT_EQ(completions, 64);
+    EXPECT_TRUE(sys.idle());
+}
+
+TEST(DramSystem, AggregateStatsSumChannels)
+{
+    EventQueue eq;
+    DramSystem sys(smallDevice(), eq);
+    for (LineAddr line = 0; line < 100; ++line)
+        sys.accessLine(line, false, nullptr);
+    for (LineAddr line = 0; line < 40; ++line)
+        sys.accessLine(line, true, nullptr);
+    eq.run();
+    const DeviceStats agg = sys.aggregateStats();
+    EXPECT_EQ(agg.readsServed, 100u);
+    EXPECT_EQ(agg.writesServed, 40u);
+    EXPECT_GT(agg.rowHitRate(), 0.0);
+    EXPECT_GT(agg.avgReadLatency, 0.0);
+}
+
+TEST(DramSystem, PresetsValidate)
+{
+    EventQueue eq;
+    DramSystem hbm(hbmCacheTiming(), eq);
+    DramSystem pcm(pcmMainMemoryTiming(), eq);
+    EXPECT_EQ(hbm.numChannels(), 8u);
+    EXPECT_EQ(pcm.numChannels(), 2u);
+}
+
+TEST(TimingParams, PresetBandwidths)
+{
+    // Table III: cache 128 GB/s, memory 32 GB/s; at 3 GHz that is
+    // ~42.7 and ~10.7 bytes per CPU cycle.
+    EXPECT_NEAR(hbmCacheTiming().peakBytesPerCycle(), 42.7, 0.5);
+    EXPECT_NEAR(pcmMainMemoryTiming().peakBytesPerCycle(), 10.7, 0.5);
+}
+
+TEST(TimingParams, NvmSlowerThanCache)
+{
+    const auto hbm = hbmCacheTiming();
+    const auto pcm = pcmMainMemoryTiming();
+    // Array read 2-4X, write recovery much longer (Section III-A).
+    EXPECT_GE(pcm.tRcd, 2 * hbm.tRcd);
+    EXPECT_LE(pcm.tRcd, 4 * (hbm.tRcd + hbm.tCas));
+    EXPECT_GT(pcm.tWr, 4 * hbm.tWr);
+}
+
+TEST(TimingParams, RowsPerBankConsistent)
+{
+    const auto p = hbmCacheTiming();
+    EXPECT_EQ(p.rowsPerBank() * p.rowBytes * p.banksPerChannel
+                  * p.channels,
+              p.capacityBytes);
+}
+
+TEST(TimingParamsDeath, BadGeometryIsFatal)
+{
+    TimingParams p = hbmCacheTiming();
+    p.channels = 3;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "powers of two");
+}
+
+TEST(TimingParamsDeath, BadWatermarksAreFatal)
+{
+    TimingParams p = hbmCacheTiming();
+    p.writeDrainLow = p.writeDrainHigh;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "watermarks");
+}

@@ -1,0 +1,86 @@
+/** @file Unit tests for the energy model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+
+using namespace accord;
+using namespace accord::sim;
+
+namespace
+{
+
+dram::DeviceStats
+stats(std::uint64_t reads, std::uint64_t writes, std::uint64_t row_hits)
+{
+    dram::DeviceStats s;
+    s.readsServed = reads;
+    s.writesServed = writes;
+    s.rowHits = row_hits;
+    return s;
+}
+
+} // namespace
+
+TEST(Energy, ZeroActivityIsBackgroundOnly)
+{
+    const auto e =
+        computeEnergy(stats(0, 0, 0), stats(0, 0, 0), 3'000'000'000);
+    EXPECT_DOUBLE_EQ(e.cacheEnergyJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.memEnergyJ, 0.0);
+    EXPECT_NEAR(e.seconds, 1.0, 1e-9);
+    EXPECT_NEAR(e.backgroundJ, 3.0, 1e-9);  // 2W + 1W for 1s
+    EXPECT_NEAR(e.totalJ, 3.0, 1e-9);
+}
+
+TEST(Energy, RowHitsSkipActivationEnergy)
+{
+    const auto all_miss =
+        computeEnergy(stats(1000, 0, 0), stats(0, 0, 0), 1000);
+    const auto all_hit =
+        computeEnergy(stats(1000, 0, 1000), stats(0, 0, 0), 1000);
+    EXPECT_GT(all_miss.cacheEnergyJ, all_hit.cacheEnergyJ);
+}
+
+TEST(Energy, NvmWritesDominate)
+{
+    const auto reads =
+        computeEnergy(stats(0, 0, 0), stats(1000, 0, 0), 1000);
+    const auto writes =
+        computeEnergy(stats(0, 0, 0), stats(0, 1000, 0), 1000);
+    EXPECT_GT(writes.memEnergyJ, 3.0 * reads.memEnergyJ);
+}
+
+TEST(Energy, PowerIsEnergyOverTime)
+{
+    const auto e = computeEnergy(stats(1000, 500, 200),
+                                 stats(100, 50, 0), 3'000'000);
+    EXPECT_NEAR(e.powerW(), e.totalJ / e.seconds, 1e-12);
+}
+
+TEST(Energy, EdpIsEnergyTimesDelay)
+{
+    const auto e = computeEnergy(stats(1000, 500, 200),
+                                 stats(100, 50, 0), 3'000'000);
+    EXPECT_NEAR(e.edp(), e.totalJ * e.seconds, 1e-12);
+}
+
+TEST(Energy, MoreTrafficMoreEnergy)
+{
+    const auto small =
+        computeEnergy(stats(100, 100, 50), stats(10, 10, 0), 1000);
+    const auto large =
+        computeEnergy(stats(1000, 1000, 500), stats(100, 100, 0), 1000);
+    EXPECT_GT(large.totalJ, small.totalJ);
+}
+
+TEST(Energy, CustomParamsRespected)
+{
+    EnergyParams params;
+    params.hbmBackgroundW = 0.0;
+    params.nvmBackgroundW = 0.0;
+    const auto e =
+        computeEnergy(stats(0, 0, 0), stats(0, 0, 0), 3'000'000'000,
+                      params);
+    EXPECT_DOUBLE_EQ(e.totalJ, 0.0);
+}

@@ -1,0 +1,102 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hpp"
+
+using namespace accord;
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Cycle fired_at = 0;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleAfter(5, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 105u);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(1, recurse);
+    };
+    eq.scheduleAt(0, recurse);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Cycle t = 1; t <= 10; ++t)
+        eq.scheduleAt(t, [&] { ++count; });
+    eq.runUntil([&] { return count >= 4; });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.size(), 6u);
+}
+
+TEST(EventQueue, ExecutedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 3; ++i)
+        eq.scheduleAt(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, ScheduleAtNowIsAllowed)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.scheduleAt(0, [&] { ran = true; });
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(10, [] {});
+    eq.step();
+    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+}

@@ -1,0 +1,239 @@
+/** @file Unit tests for the synthetic access generators. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/generator.hpp"
+
+using namespace accord;
+using namespace accord::trace;
+
+namespace
+{
+
+WorkloadGenParams
+basicParams()
+{
+    WorkloadGenParams p;
+    p.footprintLines = 1024 * linesPerRegion;
+    p.hotPortion = 0.25;
+    p.hotAccessFrac = 0.8;
+    p.hotRunLen = 8;
+    p.coldRunLen = 8;
+    p.salt = 0x1234;
+    p.seed = 7;
+    return p;
+}
+
+} // namespace
+
+TEST(WorkloadGen, Deterministic)
+{
+    WorkloadGen a(basicParams()), b(basicParams());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(WorkloadGen, DifferentSeedsDiffer)
+{
+    auto pa = basicParams();
+    auto pb = basicParams();
+    pb.seed = 8;
+    WorkloadGen a(pa), b(pb);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 100);
+}
+
+TEST(WorkloadGen, RunsAreSpatiallyContiguous)
+{
+    auto p = basicParams();
+    p.hotRunLen = 8;
+    p.coldRunLen = 8;
+    WorkloadGen gen(p);
+    LineAddr prev = gen.next();
+    int contiguous = 0;
+    const int trials = 8000;
+    for (int i = 0; i < trials; ++i) {
+        const LineAddr line = gen.next();
+        contiguous += (regionOf(line) == regionOf(prev)) ? 1 : 0;
+        prev = line;
+    }
+    // With 8-line runs, ~7/8 of steps stay within the region.
+    EXPECT_GT(contiguous, trials * 3 / 4);
+}
+
+TEST(WorkloadGen, RunLenOneIsSparse)
+{
+    auto p = basicParams();
+    p.hotRunLen = 1;
+    p.coldRunLen = 1;
+    p.coldRandom = true;
+    WorkloadGen gen(p);
+    std::set<std::uint64_t> regions;
+    for (int i = 0; i < 1000; ++i)
+        regions.insert(regionOf(gen.next()));
+    EXPECT_GT(regions.size(), 300u);
+}
+
+TEST(WorkloadGen, FootprintIsBounded)
+{
+    auto p = basicParams();
+    WorkloadGen gen(p);
+    // Every emitted line must belong to one of the footprint's hashed
+    // regions.
+    std::set<std::uint64_t> allowed;
+    for (std::uint64_t r = 0; r < p.footprintLines / linesPerRegion;
+         ++r)
+        allowed.insert(physRegionOf(r, p.salt));
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_TRUE(allowed.count(regionOf(gen.next())));
+}
+
+TEST(WorkloadGen, HotColdSplitMatchesFraction)
+{
+    auto p = basicParams();
+    p.hotPortion = 0.10;
+    p.hotAccessFrac = 0.9;
+    p.hotRunLen = 1;
+    p.coldRunLen = 1;
+    WorkloadGen gen(p);
+    std::set<std::uint64_t> hot_regions;
+    const std::uint64_t hot_count =
+        p.footprintLines / linesPerRegion / 10;
+    for (std::uint64_t r = 0; r < hot_count; ++r)
+        hot_regions.insert(physRegionOf(r, p.salt));
+    int hot_hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hot_hits += hot_regions.count(regionOf(gen.next())) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hot_hits) / trials, 0.9, 0.03);
+}
+
+TEST(WorkloadGen, ColdScanIsCyclic)
+{
+    auto p = basicParams();
+    p.hotAccessFrac = 0.0;
+    p.hotPortion = 0.25;
+    p.coldRandom = false;
+    p.coldRunLen = 64;
+    WorkloadGen gen(p);
+    // A full pass over the cold regions revisits the same regions in
+    // the same order the next pass.
+    const std::uint64_t cold_regions =
+        p.footprintLines / linesPerRegion * 3 / 4;
+    std::vector<std::uint64_t> first_pass;
+    for (std::uint64_t r = 0; r < cold_regions; ++r) {
+        first_pass.push_back(regionOf(gen.next()));
+        for (unsigned i = 1; i < 64; ++i)
+            gen.next();
+    }
+    for (std::uint64_t r = 0; r < cold_regions; ++r) {
+        EXPECT_EQ(regionOf(gen.next()), first_pass[r]);
+        for (unsigned i = 1; i < 64; ++i)
+            gen.next();
+    }
+}
+
+TEST(WorkloadGenDeath, TinyFootprintRejected)
+{
+    auto p = basicParams();
+    p.footprintLines = 8;
+    EXPECT_DEATH(WorkloadGen gen(p), "footprint");
+}
+
+TEST(PhysRegion, DeterministicAndBounded)
+{
+    for (std::uint64_t r = 0; r < 1000; ++r) {
+        EXPECT_EQ(physRegionOf(r, 5), physRegionOf(r, 5));
+        EXPECT_LT(physRegionOf(r, 5), physRegionSpace);
+    }
+}
+
+TEST(PhysRegion, SaltSeparatesStreams)
+{
+    int collisions = 0;
+    for (std::uint64_t r = 0; r < 1000; ++r)
+        collisions += physRegionOf(r, 1) == physRegionOf(r, 2) ? 1 : 0;
+    EXPECT_LT(collisions, 3);
+}
+
+TEST(CyclicPair, AlternatesTwoLinesNTimes)
+{
+    CyclicPairGen gen(1024, 4, 9);
+    const LineAddr a = gen.next();
+    const LineAddr b = gen.next();
+    EXPECT_NE(a, b);
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_EQ(gen.next(), a);
+        EXPECT_EQ(gen.next(), b);
+    }
+    // Next pair is a different conflict pair.
+    const LineAddr c = gen.next();
+    EXPECT_TRUE(c != a || gen.next() != b);
+}
+
+TEST(CyclicPair, PairMapsToSameSet)
+{
+    CyclicPairGen gen(1024, 2, 11);
+    for (int pair = 0; pair < 100; ++pair) {
+        const LineAddr a = gen.next();
+        const LineAddr b = gen.next();
+        EXPECT_EQ(a & 1023, b & 1023);
+        gen.next();
+        gen.next();     // consume the second iteration
+    }
+}
+
+TEST(WritebackMixer, NoWritebacksAtZeroFraction)
+{
+    WorkloadGen gen(basicParams());
+    WritebackMixer mixer(gen, 0.0, 16, 3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(mixer.next().isWriteback);
+}
+
+TEST(WritebackMixer, FractionControlsWritebackShare)
+{
+    WorkloadGen gen(basicParams());
+    WritebackMixer mixer(gen, 0.30, 64, 3);
+    int wb = 0;
+    const int trials = 40000;
+    for (int i = 0; i < trials; ++i)
+        wb += mixer.next().isWriteback ? 1 : 0;
+    // Writebacks are re-emissions: share = f/(1+f) of the total.
+    EXPECT_NEAR(static_cast<double>(wb) / trials, 0.3 / 1.3, 0.02);
+}
+
+TEST(WritebackMixer, WritebacksAreRecentDemandLines)
+{
+    WorkloadGen gen(basicParams());
+    WritebackMixer mixer(gen, 0.5, 32, 3);
+    std::set<LineAddr> demanded;
+    for (int i = 0; i < 5000; ++i) {
+        const L4Access access = mixer.next();
+        if (access.isWriteback)
+            EXPECT_TRUE(demanded.count(access.line));
+        else
+            demanded.insert(access.line);
+    }
+}
+
+TEST(WritebackMixer, LagDelaysWritebacks)
+{
+    WorkloadGen gen(basicParams());
+    WritebackMixer mixer(gen, 1.0 - 1e-9, 100, 3);
+    // With wb_frac ~ 1, the first writeback appears only after the lag
+    // fills up.
+    int first_wb = -1;
+    for (int i = 0; i < 300; ++i) {
+        if (mixer.next().isWriteback) {
+            first_wb = i;
+            break;
+        }
+    }
+    EXPECT_GE(first_wb, 100);
+}

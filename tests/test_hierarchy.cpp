@@ -1,0 +1,103 @@
+/** @file Unit tests for the L1/L2/L3 functional hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+
+using namespace accord;
+using namespace accord::cache;
+
+namespace
+{
+
+HierarchyParams
+tinyHierarchy()
+{
+    HierarchyParams p;
+    p.l1 = {"l1", 1024, 2, "lru", 1};
+    p.l2 = {"l2", 4096, 4, "lru", 2};
+    p.l3 = {"l3", 16384, 8, "lru", 3};
+    return p;
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdMissReachesL4)
+{
+    Hierarchy h(tinyHierarchy());
+    const auto r = h.access(1000, false);
+    EXPECT_EQ(r.hitLevel, 4u);
+    ASSERT_EQ(r.toL4.size(), 1u);
+    EXPECT_EQ(r.toL4[0].line, 1000u);
+    EXPECT_EQ(r.toL4[0].type, AccessType::Read);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    Hierarchy h(tinyHierarchy());
+    h.access(1000, false);
+    const auto r = h.access(1000, false);
+    EXPECT_EQ(r.hitLevel, 1u);
+    EXPECT_TRUE(r.toL4.empty());
+}
+
+TEST(Hierarchy, L1EvictionStillHitsL2)
+{
+    Hierarchy h(tinyHierarchy());
+    // L1: 1024B/64/2 = 8 sets, 2 ways. Three lines in one L1 set.
+    h.access(0, false);
+    h.access(8, false);
+    h.access(16, false);    // evicts line 0 from L1
+    const auto r = h.access(0, false);
+    EXPECT_EQ(r.hitLevel, 2u);
+}
+
+TEST(Hierarchy, DirtyLinesPropagateToL4Writebacks)
+{
+    Hierarchy h(tinyHierarchy());
+    // Write a stream large enough to push dirty lines out of all
+    // three levels.
+    int total_wb = 0;
+    for (LineAddr line = 0; line < 2048; ++line) {
+        const auto r = h.access(line, true);
+        for (const auto &txn : r.toL4) {
+            if (txn.type == AccessType::Writeback)
+                ++total_wb;
+        }
+    }
+    EXPECT_GT(total_wb, 0);
+}
+
+TEST(Hierarchy, CleanStreamProducesNoWritebacks)
+{
+    Hierarchy h(tinyHierarchy());
+    int wb = 0;
+    for (LineAddr line = 0; line < 2048; ++line) {
+        for (const auto &txn : h.access(line, false).toL4)
+            wb += txn.type == AccessType::Writeback ? 1 : 0;
+    }
+    EXPECT_EQ(wb, 0);
+}
+
+TEST(Hierarchy, L3MissRateTracksFootprint)
+{
+    Hierarchy h(tinyHierarchy());
+    // Working set fits L3 (16KB = 256 lines): second pass mostly hits.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (LineAddr line = 0; line < 128; ++line)
+            h.access(line, false);
+    }
+    EXPECT_LT(h.l3MissRate(), 0.6);
+
+    Hierarchy big(tinyHierarchy());
+    for (LineAddr line = 0; line < 100000; ++line)
+        big.access(line, false);
+    EXPECT_GT(big.l3MissRate(), 0.9);
+}
+
+TEST(Hierarchy, DefaultParamsMatchPaperTable3)
+{
+    const HierarchyParams p;
+    EXPECT_EQ(p.l3.capacityBytes, 8ULL * 1024 * 1024);
+    EXPECT_EQ(p.l3.ways, 16u);
+}

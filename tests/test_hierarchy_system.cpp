@@ -1,0 +1,86 @@
+/** @file Integration tests for the full-hierarchy System mode. */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+using namespace accord;
+using namespace accord::sim;
+
+namespace
+{
+
+SystemConfig
+hierConfig()
+{
+    SystemConfig config;
+    config.workload = "gcc";
+    config.numCores = 2;
+    // The on-chip hierarchy is NOT scaled, so the scale must keep the
+    // (scaled) L4 well above the 8MB L3 for the L4 to see reuse.
+    config.scale = 16;
+    config.runTimed = false;
+    config.fullHierarchy = true;
+    config.warmPerCore = 500'000;
+    config.measurePerCore = 150'000;
+    return config;
+}
+
+} // namespace
+
+TEST(HierarchySystem, FunctionalRunCompletes)
+{
+    const SystemMetrics m = runSystem(hierConfig());
+    // The hierarchy filters most accesses; the L4 still sees a
+    // non-trivial stream and produces sane statistics.
+    EXPECT_GT(m.cacheStats.readHits.total(), 100u);
+    EXPECT_GT(m.hitRate, 0.0);
+    EXPECT_LE(m.hitRate, 1.0);
+}
+
+TEST(HierarchySystem, FiltersTrafficVsDirectMode)
+{
+    SystemConfig direct = hierConfig();
+    direct.fullHierarchy = false;
+    const SystemMetrics filtered = runSystem(hierConfig());
+    const SystemMetrics unfiltered = runSystem(direct);
+    // The L1/L2/L3 stack absorbs a large share of the accesses, so
+    // for the same number of generator steps far fewer demands reach
+    // the L4.
+    EXPECT_LT(filtered.cacheStats.readHits.total(),
+              unfiltered.cacheStats.readHits.total());
+}
+
+TEST(HierarchySystem, ProducesWritebacks)
+{
+    const SystemMetrics m = runSystem(hierConfig());
+    EXPECT_GT(m.cacheStats.writebacksToCache.value()
+                  + m.cacheStats.writebacksToNvm.value(),
+              0u);
+}
+
+TEST(HierarchySystem, Deterministic)
+{
+    const SystemMetrics a = runSystem(hierConfig());
+    const SystemMetrics b = runSystem(hierConfig());
+    EXPECT_EQ(a.cacheStats.readHits.total(),
+              b.cacheStats.readHits.total());
+    EXPECT_DOUBLE_EQ(a.hitRate, b.hitRate);
+}
+
+TEST(HierarchySystem, WorksWithAccordPolicy)
+{
+    SystemConfig config = hierConfig();
+    config.ways = 2;
+    config.policySpec = "pws+gws";
+    const SystemMetrics m = runSystem(config);
+    EXPECT_GT(m.wpAccuracy, 0.5);
+}
+
+TEST(HierarchySystemDeath, TimedModeRejected)
+{
+    SystemConfig config = hierConfig();
+    config.runTimed = true;
+    EXPECT_EXIT(runSystem(config), ::testing::ExitedWithCode(1),
+                "functional");
+}

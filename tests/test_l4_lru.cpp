@@ -1,0 +1,134 @@
+/** @file Tests for the LRU-in-DRAM-cache ablation (paper footnote 2). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "controller_fixture.hpp"
+#include "sim/runner.hpp"
+
+using namespace accord;
+using namespace accord::test;
+using dramcache::L4Replacement;
+using dramcache::LookupMode;
+
+namespace
+{
+
+std::unique_ptr<dramcache::DramCacheController>
+makeLru(EventQueue &eq, nvm::NvmSystem &nvm, unsigned ways = 2)
+{
+    dramcache::DramCacheParams params;
+    params.capacityBytes = 1ULL << 20;
+    params.ways = ways;
+    params.lookup = LookupMode::Serial;
+    params.replacement = L4Replacement::Lru;
+    return std::make_unique<dramcache::DramCacheController>(
+        params, nullptr, dram::hbmCacheTiming(), eq, nvm);
+}
+
+} // namespace
+
+TEST(L4Lru, HitsPayReplacementUpdateWrites)
+{
+    EventQueue eq;
+    nvm::NvmSystem nvm(eq);
+    auto cache = makeLru(eq, nvm);
+    cache->warmRead(42);
+    cache->resetStats();
+    cache->warmRead(42);    // hit: recency update costs a write
+    EXPECT_EQ(cache->stats().replacementUpdateWrites.value(), 1u);
+    EXPECT_EQ(cache->stats().cacheWriteTransfers.value(), 1u);
+}
+
+TEST(L4Lru, RandomModePaysNoUpdateWrites)
+{
+    MiniSystem sys(2, LookupMode::Serial, "");
+    sys->warmRead(42);
+    sys->resetStats();
+    sys->warmRead(42);
+    EXPECT_EQ(sys->stats().replacementUpdateWrites.value(), 0u);
+    EXPECT_EQ(sys->stats().cacheWriteTransfers.value(), 0u);
+}
+
+TEST(L4Lru, EvictsLeastRecentlyUsedLine)
+{
+    EventQueue eq;
+    nvm::NvmSystem nvm(eq);
+    auto cache = makeLru(eq, nvm);
+    const auto &geom = cache->geometry();
+    const LineAddr a = (1ULL << geom.setBits()) | 9;
+    const LineAddr b = (2ULL << geom.setBits()) | 9;
+    const LineAddr c = (3ULL << geom.setBits()) | 9;
+    cache->warmRead(a);
+    cache->warmRead(b);
+    cache->warmRead(a);     // b is now LRU
+    cache->warmRead(c);     // evicts b
+    EXPECT_TRUE(cache->warmRead(a));
+    EXPECT_FALSE(cache->warmRead(b));
+}
+
+TEST(L4Lru, BetterHitRateButMoreWritesThanRandom)
+{
+    EventQueue eq;
+    nvm::NvmSystem nvm(eq);
+    auto lru = makeLru(eq, nvm, 4);
+    MiniSystem rnd(4, LookupMode::Serial, "");
+
+    Rng rng_a(3), rng_b(3);
+    for (int i = 0; i < 60000; ++i) {
+        lru->warmRead(rng_a.below(40000));
+        rnd->warmRead(rng_b.below(40000));
+    }
+    // LRU preserves re-referenced lines at least as well as random...
+    EXPECT_GE(lru->stats().readHits.rate() + 0.02,
+              rnd->stats().readHits.rate());
+    // ...but pays a write per hit, which random never does.
+    EXPECT_GT(lru->stats().cacheWriteTransfers.value(),
+              rnd->stats().cacheWriteTransfers.value());
+}
+
+TEST(L4Lru, TimedHitIssuesTheUpdateWrite)
+{
+    EventQueue eq;
+    nvm::NvmSystem nvm(eq);
+    auto cache = makeLru(eq, nvm);
+    bool done = false;
+    cache->read(42, [&](bool, Cycle) { done = true; });
+    eq.runUntil([&] { return done; });
+    eq.run();
+    const auto before = cache->hbm().aggregateStats().writesServed;
+    done = false;
+    cache->read(42, [&](bool hit, Cycle) {
+        EXPECT_TRUE(hit);
+        done = true;
+    });
+    eq.runUntil([&] { return done; });
+    eq.run();
+    EXPECT_EQ(cache->hbm().aggregateStats().writesServed, before + 1);
+}
+
+TEST(L4Lru, NamedConfigBuildsIt)
+{
+    const auto config = sim::namedConfig("libq", "2way-lru");
+    EXPECT_EQ(config.replacement, L4Replacement::Lru);
+    EXPECT_EQ(config.lookup, LookupMode::Serial);
+    EXPECT_TRUE(config.policySpec.empty());
+}
+
+TEST(L4LruDeath, CannotCombineWithWayPolicy)
+{
+    EventQueue eq;
+    nvm::NvmSystem nvm(eq);
+    dramcache::DramCacheParams params;
+    params.capacityBytes = 1ULL << 20;
+    params.ways = 2;
+    params.replacement = L4Replacement::Lru;
+    core::CacheGeometry geom;
+    geom.ways = 2;
+    geom.sets = params.capacityBytes / lineSize / 2;
+    auto policy = core::makePolicy("pws", geom);
+    EXPECT_DEATH(dramcache::DramCacheController(
+                     params, std::move(policy),
+                     dram::hbmCacheTiming(), eq, nvm),
+                 "unsteered");
+}

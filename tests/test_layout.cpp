@@ -1,0 +1,161 @@
+/** @file Unit tests for the set -> DRAM-array layout. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dramcache/layout.hpp"
+
+using namespace accord;
+using namespace accord::dramcache;
+
+namespace
+{
+
+dram::TimingParams
+device(std::uint64_t capacity, unsigned channels = 4,
+       unsigned banks = 4)
+{
+    dram::TimingParams p;
+    p.channels = channels;
+    p.banksPerChannel = banks;
+    p.rowBytes = 2048;
+    p.capacityBytes = capacity;
+    return p;
+}
+
+core::CacheGeometry
+geom(unsigned ways, std::uint64_t capacity)
+{
+    core::CacheGeometry g;
+    g.ways = ways;
+    g.sets = capacity / lineSize / ways;
+    return g;
+}
+
+} // namespace
+
+TEST(Layout, SetsPerRowMatchesGeometry)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    // 2KB row = 32 line units; 2-way -> 16 sets per row.
+    CacheLayout layout(geom(2, cap), device(cap));
+    EXPECT_EQ(layout.setsPerRow(), 16u);
+    CacheLayout layout8(geom(8, cap), device(cap));
+    EXPECT_EQ(layout8.setsPerRow(), 4u);
+}
+
+TEST(Layout, ConsecutiveSetsStripeChannels)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    CacheLayout layout(geom(2, cap), device(cap));
+    for (std::uint64_t set = 0; set < 16; ++set)
+        EXPECT_EQ(layout.locate(set).channel, set % 4);
+}
+
+TEST(Layout, SetsSharingARowMapIdentically)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    CacheLayout layout(geom(2, cap), device(cap));
+    // Per channel, 16 consecutive sets share a row: sets 0, 4, 8, ...
+    // 60 are the 16 channel-0 sets of row 0.
+    const auto first = layout.locate(0);
+    for (std::uint64_t i = 1; i < 16; ++i) {
+        const auto loc = layout.locate(i * 4);
+        EXPECT_EQ(loc.channel, first.channel);
+        EXPECT_EQ(loc.bank, first.bank);
+        EXPECT_EQ(loc.row, first.row);
+    }
+    // The 17th set of the channel moves to a new row.
+    EXPECT_FALSE(layout.locate(16 * 4) == first);
+}
+
+TEST(Layout, CoversDeviceWithoutOverflow)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    const auto dev = device(cap);
+    CacheLayout layout(geom(2, cap), dev);
+    const auto g = geom(2, cap);
+    std::set<std::tuple<unsigned, unsigned, std::uint64_t>> rows;
+    for (std::uint64_t set = 0; set < g.sets; ++set) {
+        const auto loc = layout.locate(set);
+        EXPECT_LT(loc.channel, dev.channels);
+        EXPECT_LT(loc.bank, dev.banksPerChannel);
+        EXPECT_LT(loc.row, dev.rowsPerBank());
+        rows.insert({loc.channel, loc.bank, loc.row});
+    }
+    // Every row holds setsPerRow sets; all rows used exactly.
+    EXPECT_EQ(rows.size(), g.sets / layout.setsPerRow());
+}
+
+TEST(Layout, RowSharedByAllWaysOfASet)
+{
+    // Structural by construction (one locate() per set), but verify
+    // the ways fit: a row must hold ways * setsPerRow line units.
+    const std::uint64_t cap = 1ULL << 20;
+    const auto dev = device(cap, 2, 2);
+    for (unsigned ways : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        CacheLayout layout(geom(ways, cap), dev);
+        EXPECT_EQ(layout.setsPerRow() * ways,
+                  dev.rowBytes / lineSize);
+    }
+}
+
+TEST(LayoutStriped, WaysOfASetSpreadAcrossChannels)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    CacheLayout layout(geom(4, cap), device(cap),
+                       LayoutMode::WayStriped);
+    // Consecutive ways of set 0 land in consecutive channels.
+    for (unsigned way = 0; way < 4; ++way)
+        EXPECT_EQ(layout.locate(0, way).channel, way % 4);
+}
+
+TEST(LayoutStriped, StaysWithinGeometry)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    const auto dev = device(cap);
+    const auto g = geom(4, cap);
+    CacheLayout layout(g, dev, LayoutMode::WayStriped);
+    for (std::uint64_t set = 0; set < g.sets; set += 97) {
+        for (unsigned way = 0; way < 4; ++way) {
+            const auto loc = layout.locate(set, way);
+            EXPECT_LT(loc.channel, dev.channels);
+            EXPECT_LT(loc.bank, dev.banksPerChannel);
+            EXPECT_LT(loc.row, dev.rowsPerBank());
+        }
+    }
+}
+
+TEST(LayoutStriped, DistinctWaysDistinctLocations)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    CacheLayout layout(geom(8, cap), device(cap),
+                       LayoutMode::WayStriped);
+    for (std::uint64_t set = 0; set < 64; ++set) {
+        std::set<std::tuple<unsigned, unsigned, std::uint64_t>> locs;
+        for (unsigned way = 0; way < 8; ++way) {
+            const auto loc = layout.locate(set, way);
+            locs.insert({loc.channel, loc.bank, loc.row});
+        }
+        // Ways spread over at least several distinct locations.
+        EXPECT_GE(locs.size(), 4u);
+    }
+}
+
+TEST(LayoutDeath, CapacityMismatchIsFatal)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    EXPECT_EXIT(CacheLayout(geom(2, cap / 2), device(cap)),
+                ::testing::ExitedWithCode(1), "lines");
+}
+
+TEST(LayoutDeath, TooManyWaysForRowIsFatal)
+{
+    const std::uint64_t cap = 4ULL << 20;
+    core::CacheGeometry g;
+    g.ways = 64;    // 64 * 64B = 4KB > 2KB row
+    g.sets = cap / lineSize / g.ways;
+    EXPECT_EXIT(CacheLayout(g, device(cap)),
+                ::testing::ExitedWithCode(1), "row");
+}

@@ -1,0 +1,81 @@
+/** @file Unit tests for the NVM main-memory wrapper. */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hpp"
+#include "nvm/nvm_system.hpp"
+
+using namespace accord;
+using namespace accord::nvm;
+
+TEST(Nvm, ReadCompletesWithPcmLatency)
+{
+    EventQueue eq;
+    NvmSystem nvm(eq);
+    Cycle done = 0;
+    nvm.readLine(0x1234, [&](Cycle when) { done = when; });
+    eq.run();
+    const auto &p = nvm.params();
+    EXPECT_EQ(done, p.tRcd + p.tCas + p.tBurst);
+}
+
+TEST(Nvm, ReadSlowerThanHbmRead)
+{
+    EventQueue eq;
+    NvmSystem nvm(eq);
+    Cycle nvm_done = 0;
+    nvm.readLine(1, [&](Cycle when) { nvm_done = when; });
+    eq.run();
+
+    EventQueue eq2;
+    dram::DramSystem hbm(dram::hbmCacheTiming(), eq2);
+    Cycle hbm_done = 0;
+    hbm.accessLine(1, false, [&](Cycle when) { hbm_done = when; });
+    eq2.run();
+
+    EXPECT_GT(nvm_done, 2 * hbm_done);
+}
+
+TEST(Nvm, WriteIsPostedAndCounted)
+{
+    EventQueue eq;
+    NvmSystem nvm(eq);
+    nvm.writeLine(7);
+    nvm.writeLine(8);
+    nvm.readLine(9, nullptr);
+    eq.run();
+    EXPECT_EQ(nvm.writes(), 2u);
+    EXPECT_EQ(nvm.reads(), 1u);
+    EXPECT_TRUE(nvm.idle());
+}
+
+TEST(Nvm, WriteCallbackFires)
+{
+    EventQueue eq;
+    NvmSystem nvm(eq);
+    bool fired = false;
+    nvm.writeLine(3, [&](Cycle) { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Nvm, ManyRequestsAllComplete)
+{
+    EventQueue eq;
+    NvmSystem nvm(eq);
+    int done = 0;
+    for (LineAddr line = 0; line < 500; ++line)
+        nvm.readLine(line * 37, [&](Cycle) { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 500);
+}
+
+TEST(Nvm, AggregateStatsAvailable)
+{
+    EventQueue eq;
+    NvmSystem nvm(eq);
+    for (LineAddr line = 0; line < 50; ++line)
+        nvm.readLine(line, nullptr);
+    eq.run();
+    EXPECT_EQ(nvm.aggregateStats().readsServed, 50u);
+}

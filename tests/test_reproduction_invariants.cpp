@@ -1,0 +1,151 @@
+/**
+ * @file
+ * System-level regression tests pinning the paper's qualitative
+ * claims.  These use small, fast configurations; if one of them breaks
+ * after a change, the corresponding bench (and the reproduction) has
+ * almost certainly regressed too.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+using namespace accord;
+using namespace accord::sim;
+
+namespace
+{
+
+/** Fast functional run of a named config. */
+SystemMetrics
+runFast(const std::string &workload, const std::string &name)
+{
+    SystemConfig config = namedConfig(workload, name);
+    config.runTimed = false;
+    config.numCores = 4;
+    config.scale = 512;
+    config.measurePerCore = 15000;
+    return runSystem(config);
+}
+
+} // namespace
+
+TEST(Invariants, AssociativityImprovesHitRate)
+{
+    // Fig 1a: hit rate grows with ways and saturates.
+    const double dm = runFast("libq", "dm").hitRate;
+    const double w2 = runFast("libq", "2way-rand").hitRate;
+    const double w8 = runFast("libq", "8way-rand").hitRate;
+    EXPECT_GT(w2, dm + 0.01);
+    EXPECT_GE(w8, w2);
+}
+
+TEST(Invariants, PwsAccuracyTracksPip)
+{
+    // Table V: the way-prediction accuracy of PWS ~ PIP.
+    const double acc = runFast("gcc", "2way-pws").wpAccuracy;
+    EXPECT_NEAR(acc, 0.85, 0.05);
+}
+
+TEST(Invariants, PwsHitRateCostIsSmall)
+{
+    // Table V/VI: PWS trades only a sliver of hit rate.
+    const double rand_hit = runFast("gcc", "2way-rand").hitRate;
+    const double pws_hit = runFast("gcc", "2way-pws").hitRate;
+    EXPECT_GT(pws_hit, rand_hit - 0.03);
+}
+
+TEST(Invariants, GwsNearPerfectOnStreaming)
+{
+    // Fig 7: ganged steering on a scanning workload.
+    EXPECT_GT(runFast("libq", "2way-gws").wpAccuracy, 0.95);
+}
+
+TEST(Invariants, GwsFallsToRandomOnSparse)
+{
+    // Fig 7: mcf's unit-run random stream defeats the RLT.
+    const double acc = runFast("mcf", "2way-gws").wpAccuracy;
+    EXPECT_LT(acc, 0.65);
+}
+
+TEST(Invariants, CombinedAccordBeatsBothFallbacks)
+{
+    // Fig 7: PWS+GWS >= max(PWS, GWS) in accuracy on a mixed workload.
+    const double pws = runFast("gcc", "2way-pws").wpAccuracy;
+    const double gws = runFast("gcc", "2way-gws").wpAccuracy;
+    const double both = runFast("gcc", "2way-pws+gws").wpAccuracy;
+    EXPECT_GE(both + 0.02, std::max(pws, gws));
+}
+
+TEST(Invariants, SwsRecoversHitRateAtTwoProbeCost)
+{
+    // Table VII: SWS(8,2) >= 2-way ACCORD hit rate; both confirm
+    // misses with at most 2 probes.
+    const auto accord2 = runFast("libq", "2way-pws+gws");
+    const auto sws8 = runFast("libq", "8way-sws+gws");
+    EXPECT_GE(sws8.hitRate + 0.01, accord2.hitRate);
+    EXPECT_LE(sws8.cacheStats.probesPerRead.max(), 2.0);
+}
+
+TEST(Invariants, ParallelLookupCostsBandwidth)
+{
+    // Table I / Fig 1b: parallel 8-way moves ~8 transfers per read.
+    const auto par = runFast("gcc", "8way-parallel");
+    EXPECT_GT(par.transfersPerRead, 7.0);
+    const auto accord = runFast("gcc", "8way-sws+gws");
+    EXPECT_LT(accord.transfersPerRead, 3.0);
+}
+
+TEST(Invariants, CaCacheSwapsCostWrites)
+{
+    // Fig 14: the CA-cache maintains its accuracy with swap traffic.
+    const auto ca = runFast("gcc", "ca");
+    EXPECT_GT(ca.cacheStats.swaps.value(), 0u);
+    EXPECT_GT(ca.wpAccuracy, 0.7);
+}
+
+TEST(Invariants, MruDecaysWithWaysAccordDoesNot)
+{
+    // Table X: the ACCORD accuracy advantage at high associativity.
+    const double mru2 = runFast("gcc", "2way-mru").wpAccuracy;
+    const double mru8 = runFast("gcc", "8way-mru").wpAccuracy;
+    const double accord8 = runFast("gcc", "8way-sws+gws").wpAccuracy;
+    EXPECT_LT(mru8, mru2 - 0.05);
+    EXPECT_GT(accord8, mru8);
+}
+
+TEST(Invariants, AccordStorageStaysTiny)
+{
+    // Table IX vs Table II: bytes vs megabytes.
+    const auto accord = runFast("gcc", "8way-sws+gws");
+    const auto ptag = runFast("gcc", "8way-ptag");
+    EXPECT_LT(accord.policyStorageBits / 8, 512u);
+    // Partial tags scale with the number of lines: orders of magnitude
+    // above ACCORD at any cache size.
+    EXPECT_GT(ptag.policyStorageBits, 50 * accord.policyStorageBits);
+}
+
+TEST(Invariants, DdrMainMemoryShrinksTheStakes)
+{
+    // Section II-B premise: with DDR below the cache, misses are
+    // cheap, so the miss-rate gap between DM and 8-way matters less.
+    // Compare the per-read DRAM+memory transfer economics instead of
+    // timing (functional run): the hit-rate delta is the same, so the
+    // premise shows up in the NVM preset's latency, checked here via
+    // the device parameters.
+    const auto pcm = dram::pcmMainMemoryTiming();
+    const auto ddr = dram::ddrMainMemoryTiming();
+    EXPECT_GT(pcm.tRcd, 2 * ddr.tRcd);
+    EXPECT_GT(pcm.tWr, 4 * ddr.tWr);
+    ddr.validate();     // geometry must be sound
+}
+
+TEST(Invariants, LruPaysUpdateWritesRandomDoesNot)
+{
+    // Footnote 2 ablation.
+    const auto lru = runFast("gcc", "2way-lru");
+    const auto rnd = runFast("gcc", "2way-serial");
+    EXPECT_GT(lru.cacheStats.replacementUpdateWrites.value(), 0u);
+    EXPECT_EQ(rnd.cacheStats.replacementUpdateWrites.value(), 0u);
+    EXPECT_GT(lru.transfersPerRead, rnd.transfersPerRead + 0.3);
+}

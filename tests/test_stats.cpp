@@ -1,0 +1,135 @@
+/** @file Unit tests for statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+using namespace accord;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(10);
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratio, EmptyRateIsZero)
+{
+    Ratio r;
+    EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(Ratio, HitsAndMisses)
+{
+    Ratio r;
+    r.hit();
+    r.hit();
+    r.miss();
+    r.add(true);
+    EXPECT_EQ(r.hits(), 3u);
+    EXPECT_EQ(r.misses(), 1u);
+    EXPECT_EQ(r.total(), 4u);
+    EXPECT_DOUBLE_EQ(r.rate(), 0.75);
+}
+
+TEST(Ratio, Reset)
+{
+    Ratio r;
+    r.hit();
+    r.reset();
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Average, NegativeValues)
+{
+    Average a;
+    a.sample(-3.0);
+    a.sample(1.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), -1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000);     // saturates into the last bucket
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(8, 1);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(10, 10);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.5), 49u);
+    EXPECT_EQ(h.percentile(1.0), 99u);
+    EXPECT_EQ(h.percentile(0.05), 9u);
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(4, 4);
+    EXPECT_EQ(h.percentile(0.9), 0u);
+}
+
+TEST(HistogramDeath, ZeroShapeRejected)
+{
+    EXPECT_DEATH(Histogram(0, 4), "shape");
+}
+
+TEST(Means, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Means, Amean)
+{
+    EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(amean({}), 0.0);
+}
+
+TEST(MeansDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}

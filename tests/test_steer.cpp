@@ -1,0 +1,270 @@
+/** @file Unit tests for PWS / SWS / unbiased steering policies. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/steer.hpp"
+
+using namespace accord;
+using namespace accord::core;
+
+namespace
+{
+
+CacheGeometry
+geom(unsigned ways, std::uint64_t sets = 1024)
+{
+    CacheGeometry g;
+    g.ways = ways;
+    g.sets = sets;
+    return g;
+}
+
+} // namespace
+
+TEST(LineRef, SplitsSetAndTag)
+{
+    const auto g = geom(2, 256);
+    const LineRef ref = LineRef::make(0x12345, g);
+    EXPECT_EQ(ref.set, 0x12345u & 255u);
+    EXPECT_EQ(ref.tag, 0x12345u >> 8);
+    EXPECT_EQ((ref.tag << 8) | ref.set, 0x12345u);
+}
+
+TEST(PreferredWay, IsLowTagBits)
+{
+    const auto g = geom(4, 256);
+    for (LineAddr line = 0; line < 4096; line += 59) {
+        const LineRef ref = LineRef::make(line, g);
+        EXPECT_EQ(preferredWay(ref, 4), ref.tag & 3);
+    }
+}
+
+TEST(PreferredWay, SharedAcrossRegion)
+{
+    // All 64 lines of a 4KB region share their tag (sets >= 64), so
+    // they share the preferred way — the property GWS relies on.
+    const auto g = geom(2, 4096);
+    const LineAddr base = 0xABCD00 & ~63ULL;
+    const unsigned expected =
+        preferredWay(LineRef::make(base, g), 2);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(preferredWay(LineRef::make(base + i, g), 2),
+                  expected);
+}
+
+TEST(AlternateWays, NeverEqualsPreferred)
+{
+    const auto g = geom(8, 1024);
+    for (LineAddr line = 0; line < 100000; line += 271) {
+        const LineRef ref = LineRef::make(line, g);
+        const unsigned preferred = preferredWay(ref, 8);
+        for (const unsigned alt : alternateWays(ref, 8, 1))
+            EXPECT_NE(alt, preferred);
+    }
+}
+
+TEST(AlternateWays, DeterministicAndInRange)
+{
+    const auto g = geom(4, 1024);
+    for (LineAddr line = 0; line < 10000; line += 97) {
+        const LineRef ref = LineRef::make(line, g);
+        const auto a = alternateWays(ref, 4, 1);
+        const auto b = alternateWays(ref, 4, 1);
+        ASSERT_EQ(a.size(), 1u);
+        EXPECT_EQ(a, b);
+        EXPECT_LT(a[0], 4u);
+    }
+}
+
+TEST(AlternateWays, RequestedCountDistinct)
+{
+    const auto g = geom(8, 1024);
+    for (LineAddr line = 0; line < 5000; line += 61) {
+        const LineRef ref = LineRef::make(line, g);
+        const auto alts = alternateWays(ref, 8, 3);
+        ASSERT_EQ(alts.size(), 3u);
+        std::set<unsigned> unique(alts.begin(), alts.end());
+        EXPECT_EQ(unique.size(), 3u);
+        EXPECT_EQ(unique.count(preferredWay(ref, 8)), 0u);
+    }
+}
+
+TEST(AlternateWays, UniformTagFallsBackToRotation)
+{
+    // tag == 0: every 2-bit group matches the preferred way (0), so
+    // the alternate must come from the rotation fallback.
+    const auto g = geom(4, 1024);
+    const LineRef ref = LineRef::make(5, g);    // tag 0, set 5
+    const auto alts = alternateWays(ref, 4, 1);
+    ASSERT_EQ(alts.size(), 1u);
+    EXPECT_EQ(alts[0], 1u);     // (preferred + 1) mod 4
+}
+
+TEST(Pws, PredictsPreferredWay)
+{
+    const auto g = geom(2);
+    PwsPolicy pws(g, 0.85, 1);
+    for (LineAddr line = 0; line < 1000; ++line) {
+        const LineRef ref = LineRef::make(line, g);
+        EXPECT_EQ(pws.predict(ref), preferredWay(ref, 2));
+    }
+}
+
+TEST(Pws, InstallBiasMatchesPip)
+{
+    const auto g = geom(2);
+    PwsPolicy pws(g, 0.85, 7);
+    int preferred_count = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        const LineRef ref = LineRef::make(
+            static_cast<LineAddr>(i) * 131, g);
+        preferred_count +=
+            pws.install(ref) == preferredWay(ref, 2) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(preferred_count) / trials, 0.85,
+                0.01);
+}
+
+TEST(Pws, Pip100IsDirectMapped)
+{
+    const auto g = geom(2);
+    PwsPolicy pws(g, 1.0, 7);
+    for (LineAddr line = 0; line < 1000; ++line) {
+        const LineRef ref = LineRef::make(line, g);
+        EXPECT_EQ(pws.install(ref), preferredWay(ref, 2));
+    }
+}
+
+TEST(Pws, NonPreferredInstallsAreUniform)
+{
+    const auto g = geom(4);
+    PwsPolicy pws(g, 0.0, 13);      // never the preferred way
+    std::array<int, 4> counts{};
+    const LineRef ref = LineRef::make(0x1234, g);   // fixed preferred
+    for (int i = 0; i < 30000; ++i)
+        ++counts[pws.install(ref)];
+    EXPECT_EQ(counts[preferredWay(ref, 4)], 0);
+    for (unsigned w = 0; w < 4; ++w) {
+        if (w == preferredWay(ref, 4))
+            continue;
+        EXPECT_NEAR(counts[w], 10000, 1000);
+    }
+}
+
+TEST(Pws, NameEncodesPip)
+{
+    EXPECT_EQ(PwsPolicy(geom(2), 0.85, 1).name(), "pws85");
+    EXPECT_EQ(PwsPolicy(geom(2), 0.5, 1).name(), "pws50");
+}
+
+TEST(Unbiased, InstallUniformOverWays)
+{
+    const auto g = geom(4);
+    UnbiasedPolicy rnd(g, 3);
+    std::array<int, 4> counts{};
+    const LineRef ref = LineRef::make(77, g);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rnd.install(ref)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Unbiased, ZeroStorage)
+{
+    EXPECT_EQ(UnbiasedPolicy(geom(2), 1).storageBits(), 0u);
+}
+
+TEST(Sws, CandidatesAreExactlyK)
+{
+    for (unsigned k : {2u, 3u, 4u}) {
+        const auto g = geom(8);
+        SwsPolicy sws(g, k, 0.85, 5);
+        for (LineAddr line = 0; line < 10000; line += 83) {
+            const LineRef ref = LineRef::make(line, g);
+            EXPECT_EQ(static_cast<unsigned>(
+                          __builtin_popcountll(sws.candidates(ref))),
+                      k);
+        }
+    }
+}
+
+TEST(Sws, InstallStaysWithinCandidates)
+{
+    const auto g = geom(8);
+    SwsPolicy sws(g, 2, 0.85, 5);
+    for (LineAddr line = 0; line < 20000; line += 7) {
+        const LineRef ref = LineRef::make(line, g);
+        const std::uint64_t mask = sws.candidates(ref);
+        const unsigned way = sws.install(ref);
+        EXPECT_TRUE(mask & (1ULL << way));
+    }
+}
+
+TEST(Sws, PredictionIsPreferredAndInCandidates)
+{
+    const auto g = geom(8);
+    SwsPolicy sws(g, 2, 0.85, 5);
+    for (LineAddr line = 0; line < 5000; line += 13) {
+        const LineRef ref = LineRef::make(line, g);
+        EXPECT_EQ(sws.predict(ref), preferredWay(ref, 8));
+        EXPECT_TRUE(sws.candidates(ref)
+                    & (1ULL << sws.predict(ref)));
+    }
+}
+
+TEST(Sws, CandidatesSharedAcrossRegion)
+{
+    const auto g = geom(8, 4096);
+    SwsPolicy sws(g, 2, 0.85, 5);
+    const LineAddr base = 0x777000ULL & ~63ULL;
+    const std::uint64_t mask =
+        sws.candidates(LineRef::make(base, g));
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(sws.candidates(LineRef::make(base + i, g)), mask);
+}
+
+TEST(Sws, NameReportsGeometry)
+{
+    EXPECT_EQ(SwsPolicy(geom(8), 2, 0.85, 1).name(), "sws(8,2)");
+    EXPECT_EQ(SwsPolicy(geom(4), 3, 0.85, 1).name(), "sws(4,3)");
+}
+
+TEST(SwsDeath, BadKRejected)
+{
+    EXPECT_DEATH(SwsPolicy(geom(4), 1, 0.85, 1), "k");
+    EXPECT_DEATH(SwsPolicy(geom(4), 5, 0.85, 1), "k");
+}
+
+/** Property sweep: alternates valid for every (ways, k). */
+struct SwsShape
+{
+    unsigned ways;
+    unsigned count;
+};
+
+class AlternateProperty : public ::testing::TestWithParam<SwsShape>
+{
+};
+
+TEST_P(AlternateProperty, AlwaysValid)
+{
+    const auto shape = GetParam();
+    const auto g = geom(shape.ways);
+    for (LineAddr line = 0; line < 3000; line += 17) {
+        const LineRef ref = LineRef::make(line, g);
+        const auto alts = alternateWays(ref, shape.ways, shape.count);
+        ASSERT_EQ(alts.size(), shape.count);
+        for (const unsigned alt : alts)
+            EXPECT_LT(alt, shape.ways);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlternateProperty,
+    ::testing::Values(SwsShape{2, 1}, SwsShape{4, 1}, SwsShape{4, 2},
+                      SwsShape{4, 3}, SwsShape{8, 1}, SwsShape{8, 3},
+                      SwsShape{8, 7}, SwsShape{16, 1}, SwsShape{16, 4},
+                      SwsShape{32, 1}));

@@ -1,0 +1,78 @@
+/** @file Unit tests for the text-table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+using namespace accord;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t{42});
+    t.row().cell("b").cell(std::uint64_t{7});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("longtext").cell("x");
+    t.row().cell("s").cell("y");
+    const std::string out = t.render();
+    // Both data rows must have equal length (padded).
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const auto nl = out.find('\n', pos);
+        lines.push_back(out.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    ASSERT_EQ(lines.size(), 4u);    // header, rule, two rows
+    EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(TextTable, DoubleFormatting)
+{
+    TextTable t({"v"});
+    t.row().cell(3.14159, 2);
+    EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+TEST(TextTable, PercentFormatting)
+{
+    TextTable t({"v"});
+    t.row().percent(0.742);
+    EXPECT_NE(t.render().find("74.2%"), std::string::npos);
+}
+
+TEST(TextTable, SignedAndUnsignedCells)
+{
+    TextTable t({"a", "b"});
+    t.row().cell(std::int64_t{-5}).cell(123u);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("-5"), std::string::npos);
+    EXPECT_NE(out.find("123"), std::string::npos);
+}
+
+TEST(TextTableDeath, TooManyCells)
+{
+    TextTable t({"only"});
+    t.row().cell("x");
+    EXPECT_DEATH(t.cell("overflow"), "too many");
+}
+
+TEST(TextTableDeath, CellBeforeRow)
+{
+    TextTable t({"c"});
+    EXPECT_DEATH(t.cell("x"), "row");
+}
+
+TEST(TextTableDeath, EmptyHeaderRejected)
+{
+    EXPECT_DEATH(TextTable({}), "column");
+}

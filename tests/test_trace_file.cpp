@@ -1,0 +1,157 @@
+/** @file Unit tests for trace recording and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "trace/trace_file.hpp"
+
+using namespace accord;
+using namespace accord::trace;
+
+namespace
+{
+
+/** Temp trace path unique per test. */
+std::string
+tracePath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "accord_trace_" + name
+        + ".bin";
+}
+
+void
+writeSample(const std::string &path, int records)
+{
+    TraceWriter writer(path);
+    for (int i = 0; i < records; ++i)
+        writer.append({static_cast<LineAddr>(i * 17), i % 3 == 0});
+    writer.close();
+}
+
+} // namespace
+
+TEST(TraceFile, RoundTrip)
+{
+    const auto path = tracePath("roundtrip");
+    writeSample(path, 100);
+
+    TraceReplay replay(path, false);
+    EXPECT_EQ(replay.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        const L4Access access = replay.next();
+        EXPECT_EQ(access.line, static_cast<LineAddr>(i * 17));
+        EXPECT_EQ(access.isWriteback, i % 3 == 0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LargeAddressesSurvive)
+{
+    const auto path = tracePath("large");
+    {
+        TraceWriter writer(path);
+        writer.append({0xFEDCBA9876543210ULL, true});
+    }
+    TraceReplay replay(path, false);
+    const L4Access access = replay.next();
+    EXPECT_EQ(access.line, 0xFEDCBA9876543210ULL);
+    EXPECT_TRUE(access.isWriteback);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoopWrapsAround)
+{
+    const auto path = tracePath("loop");
+    writeSample(path, 5);
+    TraceReplay replay(path, true);
+    const LineAddr first = replay.next().line;
+    for (int i = 0; i < 4; ++i)
+        replay.next();
+    EXPECT_EQ(replay.next().line, first);
+    EXPECT_TRUE(replay.exhausted());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RewindRestarts)
+{
+    const auto path = tracePath("rewind");
+    writeSample(path, 5);
+    TraceReplay replay(path, false);
+    const LineAddr first = replay.next().line;
+    replay.next();
+    replay.rewind();
+    EXPECT_EQ(replay.next().line, first);
+    EXPECT_FALSE(replay.exhausted());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, WriterCountsRecords)
+{
+    const auto path = tracePath("count");
+    TraceWriter writer(path);
+    for (int i = 0; i < 7; ++i)
+        writer.append({static_cast<LineAddr>(i), false});
+    EXPECT_EQ(writer.recordsWritten(), 7u);
+    writer.close();
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, DemandGenSkipsWritebacks)
+{
+    const auto path = tracePath("demand");
+    {
+        TraceWriter writer(path);
+        writer.append({1, false});
+        writer.append({2, true});
+        writer.append({3, false});
+    }
+    TraceReplay replay(path, true);
+    TraceDemandGen gen(replay);
+    EXPECT_EQ(gen.next(), 1u);
+    EXPECT_EQ(gen.next(), 3u);
+    EXPECT_EQ(gen.next(), 1u);      // looped, writeback skipped
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReplay replay("/nonexistent/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeath, BadMagicIsFatal)
+{
+    const auto path = tracePath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOTATRACE-------", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReplay replay(path),
+                ::testing::ExitedWithCode(1), "not an ACCORD trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, TruncatedRecordIsFatal)
+{
+    const auto path = tracePath("truncated");
+    writeSample(path, 2);
+    // Chop 3 bytes off the end.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 3), 0);
+    EXPECT_EXIT(TraceReplay replay(path),
+                ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, EmptyTraceIsFatal)
+{
+    const auto path = tracePath("empty");
+    { TraceWriter writer(path); }
+    EXPECT_EXIT(TraceReplay replay(path),
+                ::testing::ExitedWithCode(1), "no records");
+    std::remove(path.c_str());
+}
