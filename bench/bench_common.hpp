@@ -20,6 +20,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "trace/workloads.hpp"
 
 namespace accord::bench
@@ -67,57 +68,48 @@ runTimed(const std::string &workload, const std::string &name,
  * Timed sweep: for each workload, run the baseline once and every
  * named configuration, returning speedups[config][workload-index] and
  * appending "gmean" semantics to the caller.
+ *
+ * All (workload, config) runs fan out over a sim::SweepRunner; the
+ * jobs= CLI override picks the worker count (default: all hardware
+ * threads) and results are bit-identical for any value of it.
  */
 class SpeedupSweep
 {
   public:
     SpeedupSweep(std::vector<std::string> workloads,
                  std::vector<std::string> configs, const Config &cli)
-        : workloads_(std::move(workloads)),
-          configs_(std::move(configs))
+        : result_(sim::SweepRunner(cli).runSpeedupSweep(
+              std::move(workloads), std::move(configs), cli))
     {
-        for (const auto &workload : workloads_) {
-            sim::SystemConfig base = sim::baselineConfig(workload);
-            sim::applyCliOverrides(base, cli);
-            const sim::SystemMetrics base_metrics =
-                sim::runSystem(base);
-            baselines_.push_back(base_metrics);
-            for (const auto &config : configs_) {
-                const sim::SystemMetrics m =
-                    runTimed(workload, config, cli);
-                speedups_[config].push_back(
-                    sim::weightedSpeedup(m, base_metrics));
-                metrics_[config].push_back(m);
-            }
-        }
     }
 
     const std::vector<std::string> &workloads() const
-        { return workloads_; }
-    const std::vector<std::string> &configs() const { return configs_; }
+        { return result_.workloads; }
+    const std::vector<std::string> &configs() const
+        { return result_.configs; }
 
     double
     speedup(const std::string &config, std::size_t workload) const
     {
-        return speedups_.at(config).at(workload);
+        return result_.speedups.at(config).at(workload);
     }
 
     double
     gmean(const std::string &config) const
     {
-        return geomean(speedups_.at(config));
+        return geomean(result_.speedups.at(config));
     }
 
     const sim::SystemMetrics &
     metrics(const std::string &config, std::size_t workload) const
     {
-        return metrics_.at(config).at(workload);
+        return result_.metrics.at(config).at(workload);
     }
 
     const sim::SystemMetrics &
     baseline(std::size_t workload) const
     {
-        return baselines_.at(workload);
+        return result_.baselines.at(workload);
     }
 
     /** Print the per-workload speedup table plus the gmean row. */
@@ -125,26 +117,67 @@ class SpeedupSweep
     printTable() const
     {
         std::vector<std::string> header = {"workload"};
-        for (const auto &config : configs_)
+        for (const auto &config : configs())
             header.push_back(config);
         TextTable table(header);
-        for (std::size_t w = 0; w < workloads_.size(); ++w) {
-            table.row().cell(workloads_[w]);
-            for (const auto &config : configs_)
+        for (std::size_t w = 0; w < workloads().size(); ++w) {
+            table.row().cell(workloads()[w]);
+            for (const auto &config : configs())
                 table.cell(speedup(config, w), 3);
         }
         table.row().cell("gmean");
-        for (const auto &config : configs_)
+        for (const auto &config : configs())
             table.cell(gmean(config), 3);
         table.print();
     }
 
   private:
+    sim::SweepResult result_;
+};
+
+/**
+ * Functional sweep: every (workload, config) untimed measurement run,
+ * fanned out over a sim::SweepRunner like SpeedupSweep.  Benches that
+ * tabulate hit rates or prediction accuracy iterate the grid instead
+ * of calling runFunctional() in nested serial loops.
+ */
+class FunctionalSweep
+{
+  public:
+    FunctionalSweep(std::vector<std::string> workloads,
+                    std::vector<std::string> configs, const Config &cli)
+        : workloads_(std::move(workloads)),
+          configs_(std::move(configs)),
+          grid_(sim::SweepRunner(cli).runFunctionalGrid(
+              workloads_, configs_, cli))
+    {
+    }
+
+    const std::vector<std::string> &workloads() const
+        { return workloads_; }
+    const std::vector<std::string> &configs() const { return configs_; }
+
+    const sim::SystemMetrics &
+    metrics(const std::string &config, std::size_t workload) const
+    {
+        return grid_.at(config).at(workload);
+    }
+
+    /** One metric over all workloads of a config, for amean()/geomean(). */
+    template <typename Fn>
+    std::vector<double>
+    column(const std::string &config, Fn &&metric) const
+    {
+        std::vector<double> values;
+        for (const sim::SystemMetrics &m : grid_.at(config))
+            values.push_back(metric(m));
+        return values;
+    }
+
+  private:
     std::vector<std::string> workloads_;
     std::vector<std::string> configs_;
-    std::vector<sim::SystemMetrics> baselines_;
-    std::map<std::string, std::vector<double>> speedups_;
-    std::map<std::string, std::vector<sim::SystemMetrics>> metrics_;
+    std::map<std::string, std::vector<sim::SystemMetrics>> grid_;
 };
 
 } // namespace accord::bench

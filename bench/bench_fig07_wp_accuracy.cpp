@@ -19,25 +19,24 @@ main(int argc, char **argv)
         argc, argv, "Figure 7: way-prediction accuracy (2-way)",
         "Fig 7 (accuracy of Rand / PWS / GWS / PWS+GWS per workload)");
 
+    const bench::FunctionalSweep sweep(
+        trace::mainWorkloadNames(),
+        {"2way-rand", "2way-pws", "2way-gws", "2way-pws+gws"}, cli);
+
     TextTable table(
         {"workload", "rand", "pws", "gws", "pws+gws"});
     std::vector<double> rand_acc, pws_acc, gws_acc, both_acc;
-    for (const auto &workload : trace::mainWorkloadNames()) {
-        const double r =
-            bench::runFunctional(workload, "2way-rand", cli).wpAccuracy;
-        const double p =
-            bench::runFunctional(workload, "2way-pws", cli).wpAccuracy;
-        const double g =
-            bench::runFunctional(workload, "2way-gws", cli).wpAccuracy;
-        const double b =
-            bench::runFunctional(workload, "2way-pws+gws", cli)
-                .wpAccuracy;
+    for (std::size_t w = 0; w < sweep.workloads().size(); ++w) {
+        const double r = sweep.metrics("2way-rand", w).wpAccuracy;
+        const double p = sweep.metrics("2way-pws", w).wpAccuracy;
+        const double g = sweep.metrics("2way-gws", w).wpAccuracy;
+        const double b = sweep.metrics("2way-pws+gws", w).wpAccuracy;
         rand_acc.push_back(r);
         pws_acc.push_back(p);
         gws_acc.push_back(g);
         both_acc.push_back(b);
-        table.row().cell(workload).percent(r).percent(p).percent(g)
-            .percent(b);
+        table.row().cell(sweep.workloads()[w]).percent(r).percent(p)
+            .percent(g).percent(b);
     }
     table.row()
         .cell("amean")

@@ -18,17 +18,19 @@ main(int argc, char **argv)
         argc, argv, "Table VI: hit rate under way steering",
         "Table VI (DM / 2-way random / PWS / GWS / PWS+GWS hit rate)");
 
-    const char *configs[] = {"dm", "2way-rand", "2way-pws", "2way-gws",
-                             "2way-pws+gws"};
+    const std::vector<std::string> configs = {
+        "dm", "2way-rand", "2way-pws", "2way-gws", "2way-pws+gws"};
     const char *labels[] = {"direct-mapped", "2-way rand", "2-way PWS",
                             "2-way GWS", "2-way PWS+GWS"};
 
+    const bench::FunctionalSweep sweep(trace::mainWorkloadNames(),
+                                       configs, cli);
+
     TextTable table({"organization", "hit-rate (amean)"});
-    for (std::size_t c = 0; c < std::size(configs); ++c) {
-        std::vector<double> hits;
-        for (const auto &workload : trace::mainWorkloadNames())
-            hits.push_back(
-                bench::runFunctional(workload, configs[c], cli).hitRate);
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const std::vector<double> hits = sweep.column(
+            configs[c],
+            [](const sim::SystemMetrics &m) { return m.hitRate; });
         table.row().cell(labels[c]).percent(amean(hits));
     }
     table.print();

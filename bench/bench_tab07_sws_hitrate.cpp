@@ -19,19 +19,22 @@ main(int argc, char **argv)
         argc, argv, "Table VII: hit rate of ACCORD designs",
         "Table VII (DM / ACCORD 2-way / SWS(4,2) / SWS(8,2) / 8-way)");
 
-    const char *configs[] = {"dm", "2way-pws+gws", "4way-sws+gws",
-                             "8way-sws+gws", "8way-rand"};
+    const std::vector<std::string> configs = {
+        "dm", "2way-pws+gws", "4way-sws+gws", "8way-sws+gws",
+        "8way-rand"};
     const char *labels[] = {"direct-mapped", "ACCORD (2-way)",
                             "SWS(4,2)", "SWS(8,2)", "8-way"};
 
+    const bench::FunctionalSweep sweep(trace::mainWorkloadNames(),
+                                       configs, cli);
+
     TextTable table({"organization", "hit-rate (amean)",
                      "miss-confirm probes"});
-    for (std::size_t c = 0; c < std::size(configs); ++c) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
         std::vector<double> hits;
         double probes = 0.0;
-        for (const auto &workload : trace::mainWorkloadNames()) {
-            const auto m =
-                bench::runFunctional(workload, configs[c], cli);
+        for (std::size_t w = 0; w < sweep.workloads().size(); ++w) {
+            const auto &m = sweep.metrics(configs[c], w);
             hits.push_back(m.hitRate);
             probes += m.cacheStats.probesPerRead.max();
         }

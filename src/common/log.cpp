@@ -9,27 +9,74 @@ namespace accord
 namespace
 {
 
+/**
+ * Active capture buffer for this thread (nullptr = write straight to
+ * stderr).  thread_local so parallel sweep workers never share it.
+ */
+thread_local std::string *capture_sink = nullptr;
+
+/** printf-style formatting into a std::string. */
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed <= 0)
+        return {};
+    std::string text(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(text.data(), text.size() + 1, fmt, args);
+    return text;
+}
+
+/**
+ * Route one finished message: append to the thread's capture if one
+ * is active, else write it to stderr with a single stdio call so
+ * messages from concurrent threads never interleave mid-line.
+ */
 void
 vreport(const char *prefix, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    std::string line = prefix;
+    line += ": ";
+    line += vformat(fmt, args);
+    line += '\n';
+    if (capture_sink != nullptr)
+        capture_sink->append(line);
+    else
+        std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace
+
+ScopedLogCapture::ScopedLogCapture() : previous(capture_sink)
+{
+    capture_sink = &buffer;
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    capture_sink = previous;
+}
+
+void
+emitCapturedLog(const std::string &text)
+{
+    if (!text.empty())
+        std::fwrite(text.data(), 1, text.size(), stderr);
+}
 
 void
 assertFail(const char *cond, const char *file, int line,
            const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ",
-                 cond, file, line);
     std::va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    const std::string detail = vformat(fmt, args);
     va_end(args);
-    std::fputc('\n', stderr);
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: %s\n",
+                 cond, file, line, detail.c_str());
     std::abort();
 }
 
@@ -38,8 +85,9 @@ panic(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    const std::string detail = vformat(fmt, args);
     va_end(args);
+    std::fprintf(stderr, "panic: %s\n", detail.c_str());
     std::abort();
 }
 
@@ -48,8 +96,9 @@ fatal(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    const std::string detail = vformat(fmt, args);
     va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", detail.c_str());
     std::exit(1);
 }
 

@@ -11,6 +11,7 @@
 #define ACCORD_COMMON_LOG_HPP
 
 #include <cstdarg>
+#include <string>
 
 namespace accord
 {
@@ -33,6 +34,37 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]] void assertFail(const char *cond, const char *file,
                              int line, const char *fmt, ...)
     __attribute__((format(printf, 4, 5)));
+
+/**
+ * While alive, warn()/inform() on the constructing thread append to
+ * an in-memory buffer instead of writing to stderr.  Parallel sweep
+ * workers wrap each simulation in a capture so per-run output can be
+ * replayed in deterministic job order once all runs finish.  Captures
+ * nest; panic()/fatal() always hit stderr directly because they do
+ * not return.
+ */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    /** Captured text so far (each message ends in '\n'). */
+    const std::string &text() const { return buffer; }
+
+    /** Move the captured text out, leaving the buffer empty. */
+    std::string take() { return std::move(buffer); }
+
+  private:
+    std::string buffer;
+    std::string *previous;
+};
+
+/** Write previously captured log text to stderr in one call. */
+void emitCapturedLog(const std::string &text);
 
 /** panic() with a message unless the condition holds. */
 #define ACCORD_ASSERT(cond, ...)                                         \

@@ -1,0 +1,61 @@
+#include "sim/pool.hpp"
+
+#include <algorithm>
+
+namespace accord::sim
+{
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    const unsigned count = jobs == 0 ? defaultJobs() : jobs;
+    workers.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    ready.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(task));
+    }
+    ready.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            ready.wait(lock,
+                       [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace accord::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel
+ * experiment fan-out.
+ *
+ * Tasks are plain callables; submit() returns a std::future so
+ * exceptions thrown inside a task propagate to the caller at get().
+ * Workers pop tasks FIFO, so with jobs=1 the pool degenerates to the
+ * serial execution order benches used before parallelism existed.
+ * Determinism of simulation results does not depend on the pool at
+ * all: every run seeds its RNGs from (seed, workload, config), never
+ * from scheduling order.
+ */
+
+#ifndef ACCORD_SIM_POOL_HPP
+#define ACCORD_SIM_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace accord::sim
+{
+
+/** Fixed-size FIFO thread pool; join on destruction. */
+class ThreadPool
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobs(). */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    unsigned jobs() const
+        { return static_cast<unsigned>(workers.size()); }
+
+    /** Hardware concurrency, or 1 when it is unknown. */
+    static unsigned defaultJobs();
+
+    /**
+     * Queue a callable; the future delivers its result or rethrows
+     * whatever it threw.
+     */
+    template <typename F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F &>>
+    {
+        using Result = std::invoke_result_t<F &>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::move(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace accord::sim
+
+#endif // ACCORD_SIM_POOL_HPP

@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include "common/log.hpp"
+#include "sim/sweep.hpp"
 
 namespace accord::sim
 {
@@ -42,6 +43,8 @@ applyCliOverrides(SystemConfig &config, const Config &cli)
         cli.getUint("measure", config.measurePerCore);
     config.seed = cli.getUint("seed", config.seed);
     config.mlp = static_cast<unsigned>(cli.getUint("mlp", config.mlp));
+    config.jobs =
+        static_cast<unsigned>(cli.getUint("jobs", config.jobs));
 }
 
 SystemConfig
@@ -104,6 +107,28 @@ BaselineCache::get(const std::string &workload, const Config &cli)
     SystemConfig config = baselineConfig(workload);
     applyCliOverrides(config, cli);
     return cache.emplace(workload, runSystem(config)).first->second;
+}
+
+void
+BaselineCache::prefetch(const std::vector<std::string> &workloads,
+                        const Config &cli)
+{
+    std::vector<std::string> missing;
+    std::vector<SystemConfig> configs;
+    for (const std::string &workload : workloads) {
+        if (cache.count(workload))
+            continue;
+        SystemConfig config = baselineConfig(workload);
+        applyCliOverrides(config, cli);
+        missing.push_back(workload);
+        configs.push_back(std::move(config));
+    }
+    if (missing.empty())
+        return;
+    const SweepRunner runner(cli);
+    std::vector<SystemMetrics> metrics = runner.runConfigs(configs);
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        cache.emplace(missing[i], std::move(metrics[i]));
 }
 
 } // namespace accord::sim

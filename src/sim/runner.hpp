@@ -11,6 +11,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "sim/system.hpp"
@@ -30,8 +31,10 @@ double weightedSpeedup(const SystemMetrics &config,
 
 /**
  * Apply common CLI overrides (key=value) to a config:
- * scale=, cores=, timed=, warm=, measure=, seed=, mlp=, full=1
- * (full sets scale=1: paper-sized 4GB cache and footprints).
+ * scale=, cores=, timed=, warm=, measure=, seed=, mlp=, jobs=,
+ * full=1 (full sets scale=1: paper-sized 4GB cache and footprints).
+ * jobs= sets the sweep worker count (0 = all hardware threads,
+ * jobs=1 = the historical serial path); results never depend on it.
  */
 void applyCliOverrides(SystemConfig &config, const Config &cli);
 
@@ -65,6 +68,13 @@ class BaselineCache
     /** Baseline metrics for the workload under the given overrides. */
     const SystemMetrics &get(const std::string &workload,
                              const Config &cli);
+
+    /**
+     * Simulate all not-yet-cached workloads in parallel (jobs= from
+     * the CLI) so later get() calls are pure lookups.
+     */
+    void prefetch(const std::vector<std::string> &workloads,
+                  const Config &cli);
 
   private:
     std::map<std::string, SystemMetrics> cache;

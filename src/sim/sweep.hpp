@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parallel experiment fan-out: run many independent (workload,
+ * config) simulations across a thread pool and collect their metrics
+ * in a deterministic layout.
+ *
+ * Every simulation seeds its RNGs from (seed, workload, config), so
+ * results are bit-identical for any job count; scheduling order only
+ * affects wall-clock time.  All SystemConfigs are resolved on the
+ * calling thread before any worker starts (the CLI Config tracks
+ * consumed keys and is not thread-safe), and per-run warn()/inform()
+ * output is captured and replayed in job order after the batch
+ * completes.
+ */
+
+#ifndef ACCORD_SIM_SWEEP_HPP
+#define ACCORD_SIM_SWEEP_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/system.hpp"
+
+namespace accord::sim
+{
+
+/** Resolve a jobs= override: 0 means all hardware threads. */
+unsigned resolveJobs(unsigned jobs);
+
+/** Timed baseline+config sweep results in bench table layout. */
+struct SweepResult
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> configs;
+
+    /** Direct-mapped baseline metrics, indexed by workload. */
+    std::vector<SystemMetrics> baselines;
+
+    /** metrics[config][workload-index]. */
+    std::map<std::string, std::vector<SystemMetrics>> metrics;
+
+    /** speedups[config][workload-index] over the baseline. */
+    std::map<std::string, std::vector<double>> speedups;
+};
+
+/**
+ * Schedules batches of independent simulations over a ThreadPool.
+ * jobs=1 reproduces the historical serial execution order exactly.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 means all hardware threads. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Read the jobs= override from CLI configuration. */
+    explicit SweepRunner(const Config &cli);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every config and return metrics in input order, regardless
+     * of the job count.  The first exception any run throws is
+     * rethrown (lowest input index wins) after all runs finish.
+     */
+    std::vector<SystemMetrics>
+    runConfigs(const std::vector<SystemConfig> &configs) const;
+
+    /**
+     * The bench sweep: for each workload run the direct-mapped
+     * baseline plus every named configuration (timed), baselines
+     * scheduled first, and compute weighted speedups.
+     */
+    SweepResult
+    runSpeedupSweep(std::vector<std::string> workloads,
+                    std::vector<std::string> configs,
+                    const Config &cli) const;
+
+    /**
+     * Functional (untimed) grid over workloads x named configs;
+     * returns metrics[config][workload-index].
+     */
+    std::map<std::string, std::vector<SystemMetrics>>
+    runFunctionalGrid(const std::vector<std::string> &workloads,
+                      const std::vector<std::string> &configs,
+                      const Config &cli) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace accord::sim
+
+#endif // ACCORD_SIM_SWEEP_HPP

@@ -77,6 +77,14 @@ struct SystemConfig
 
     unsigned mlp = 8;
 
+    /**
+     * Worker threads for sweeps this run belongs to (0 = all
+     * hardware threads; 1 = the historical serial path).  Scheduling
+     * metadata only — it never changes simulation results, which are
+     * bit-identical for any job count.
+     */
+    unsigned jobs = 0;
+
     /** Demand-to-writeback lag of the writeback mixer. */
     unsigned wbLag = 2048;
 

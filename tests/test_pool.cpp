@@ -1,0 +1,84 @@
+/** @file Unit tests for the experiment thread pool. */
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/pool.hpp"
+
+using namespace accord;
+using sim::ThreadPool;
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, ZeroRequestsDefaultJobs)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.jobs(), ThreadPool::defaultJobs());
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&done] { ++done; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsTaskResults)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SingleJobPreservesSubmissionOrder)
+{
+    // jobs=1 is the serial path: one worker pops FIFO, so tasks run
+    // in exactly the order they were submitted.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(
+            pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &future : futures)
+        future.get();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] { ++done; });
+    }
+    EXPECT_EQ(done.load(), 64);
+}
