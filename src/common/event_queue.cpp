@@ -26,6 +26,10 @@ EventQueue::step()
     const Cycle when = top.when;
     Callback callback = std::move(top.callback);
     events.pop();
+    ACCORD_CHECK(when >= now_,
+                 "event time regressed (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
     now_ = when;
     ++executed_;
     callback();

@@ -1,0 +1,54 @@
+#include "common/invariant_auditor.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+void
+InvariantAuditor::fail(const char *rule, const char *fmt, ...)
+{
+    char detail[512];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(detail, sizeof detail, fmt, args);
+    va_end(args);
+    violations_.push_back(Violation{rule, detail});
+}
+
+bool
+InvariantAuditor::hasRule(std::string_view rule) const
+{
+    for (const Violation &v : violations_) {
+        if (v.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+InvariantAuditor::report() const
+{
+    std::string text;
+    for (const Violation &v : violations_) {
+        text += v.rule;
+        text += ": ";
+        text += v.detail;
+        text += '\n';
+    }
+    return text;
+}
+
+void
+InvariantAuditor::enforce(const char *context) const
+{
+    if (clean())
+        return;
+    panic("invariant audit failed (%s): %zu violation(s)\n%s", context,
+          count(), report().c_str());
+}
+
+} // namespace accord

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Runtime invariant auditing.
+ *
+ * An InvariantAuditor collects violations of model-state invariants
+ * instead of aborting on the first one, so a periodic sweep can report
+ * every inconsistency it finds in one shot and unit tests can assert
+ * that a deliberately corrupted state is detected.  Components expose
+ * audit entry points (WayPolicy::audit, the free functions in
+ * dramcache/audit.hpp, DramCacheController::audit) that record into a
+ * shared auditor; enforce() then panics with the full report if any
+ * check failed.
+ *
+ * The auditor itself is always available — tests run it in any build
+ * type.  Only the *automatic* periodic invocation inside the
+ * controller (and the ACCORD_CHECK macros) are compiled out in plain
+ * release builds; see ACCORD_CHECKS_ENABLED in common/log.hpp.
+ */
+
+#ifndef ACCORD_COMMON_INVARIANT_AUDITOR_HPP
+#define ACCORD_COMMON_INVARIANT_AUDITOR_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accord
+{
+
+/** Collects invariant violations for deferred reporting. */
+class InvariantAuditor
+{
+  public:
+    /** One failed invariant: a stable rule id plus formatted detail. */
+    struct Violation
+    {
+        std::string rule;
+        std::string detail;
+    };
+
+    /** Record a violation of `rule` with printf-style detail. */
+    void fail(const char *rule, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** True if no violations have been recorded. */
+    bool clean() const { return violations_.empty(); }
+
+    std::size_t count() const { return violations_.size(); }
+
+    const std::vector<Violation> &violations() const
+        { return violations_; }
+
+    /** True if at least one violation of `rule` was recorded. */
+    bool hasRule(std::string_view rule) const;
+
+    /** Human-readable report, one "rule: detail" line per violation. */
+    std::string report() const;
+
+    /** Drop all recorded violations. */
+    void clear() { violations_.clear(); }
+
+    /** panic() with the full report unless clean(). */
+    void enforce(const char *context) const;
+
+  private:
+    std::vector<Violation> violations_;
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_INVARIANT_AUDITOR_HPP

@@ -66,13 +66,46 @@ class ScopedLogCapture
 /** Write previously captured log text to stderr in one call. */
 void emitCapturedLog(const std::string &text);
 
-/** panic() with a message unless the condition holds. */
+/**
+ * panic() with a message unless the condition holds.
+ *
+ * ACCORD_ASSERT is always compiled in: it guards cheap preconditions
+ * (argument bounds, API contracts) whose cost is a predictable branch.
+ */
 #define ACCORD_ASSERT(cond, ...)                                         \
     do {                                                                 \
         if (!(cond))                                                     \
             ::accord::assertFail(#cond, __FILE__, __LINE__,              \
                                  __VA_ARGS__);                           \
     } while (0)
+
+/**
+ * 1 when heavyweight invariant checking is compiled in: Debug builds
+ * (no NDEBUG) and any build configured with -DACCORD_CHECKS=ON or
+ * -DACCORD_SANITIZE=... (both define ACCORD_ENABLE_CHECKS).
+ */
+#if defined(ACCORD_ENABLE_CHECKS) || !defined(NDEBUG)
+#define ACCORD_CHECKS_ENABLED 1
+#else
+#define ACCORD_CHECKS_ENABLED 0
+#endif
+
+/**
+ * Like ACCORD_ASSERT, but for checks too hot or too expensive for
+ * release builds (per-access index validation, periodic whole-model
+ * audits).  Compiles to nothing unless ACCORD_CHECKS_ENABLED; the
+ * dead branch keeps the condition and arguments type-checked and
+ * referenced so no -Wunused warnings appear in either mode.
+ */
+#if ACCORD_CHECKS_ENABLED
+#define ACCORD_CHECK(cond, ...) ACCORD_ASSERT(cond, __VA_ARGS__)
+#else
+#define ACCORD_CHECK(cond, ...)                                          \
+    do {                                                                 \
+        if (false)                                                       \
+            ACCORD_ASSERT(cond, __VA_ARGS__);                            \
+    } while (0)
+#endif
 
 } // namespace accord
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/bits.hpp"
+#include "common/log.hpp"
 
 namespace accord
 {
@@ -54,6 +55,7 @@ class Rng
     std::uint64_t
     below(std::uint64_t bound)
     {
+        ACCORD_ASSERT(bound > 0, "Rng::below needs a positive bound");
         // Lemire's nearly-divisionless bounded sampling (without the
         // rejection loop; the bias is < 2^-64 * bound, irrelevant here).
         const std::uint64_t x = next();

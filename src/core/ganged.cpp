@@ -1,6 +1,7 @@
 #include "core/ganged.hpp"
 
 #include "common/bits.hpp"
+#include "common/invariant_auditor.hpp"
 #include "common/log.hpp"
 
 namespace accord::core
@@ -70,6 +71,44 @@ RegionTable::occupancy() const
     return count;
 }
 
+void
+RegionTable::audit(InvariantAuditor &auditor, const char *label,
+                   unsigned maxWays, unsigned maxEntries) const
+{
+    if (slots.size() > maxEntries) {
+        auditor.fail("gws-table-bound",
+                     "%s holds %zu slots, configured bound is %u",
+                     label, slots.size(), maxEntries);
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Slot &slot = slots[i];
+        if (!slot.valid)
+            continue;
+        if (slot.way >= maxWays) {
+            auditor.fail("gws-way-range",
+                         "%s slot %zu: way %u out of range (ways=%u)",
+                         label, i, slot.way, maxWays);
+        }
+        if (slot.lastUse > use_clock) {
+            auditor.fail("gws-lru-clock",
+                         "%s slot %zu: stamp %llu ahead of clock %llu",
+                         label, i,
+                         static_cast<unsigned long long>(slot.lastUse),
+                         static_cast<unsigned long long>(use_clock));
+        }
+        for (std::size_t j = i + 1; j < slots.size(); ++j) {
+            if (slots[j].valid && slots[j].region == slot.region) {
+                auditor.fail("gws-dup-region",
+                             "%s slots %zu and %zu both map region "
+                             "%llx",
+                             label, i, j,
+                             static_cast<unsigned long long>(
+                                 slot.region));
+            }
+        }
+    }
+}
+
 GangedPolicy::GangedPolicy(std::unique_ptr<WayPolicy> base,
                            const GangedParams &params)
     : WayPolicy(base->geometry()), base_(std::move(base)), params(params),
@@ -113,6 +152,7 @@ GangedPolicy::candidates(const LineRef &ref) const
 void
 GangedPolicy::onHit(const LineRef &ref, unsigned way)
 {
+    ACCORD_ASSERT(way < geom_.ways, "onHit way %u out of range", way);
     rlt.insert(regionOf(ref.line), way);
     base_->onHit(ref, way);
 }
@@ -126,6 +166,8 @@ GangedPolicy::onMiss(const LineRef &ref)
 void
 GangedPolicy::onInstall(const LineRef &ref, unsigned way)
 {
+    ACCORD_ASSERT(way < geom_.ways, "onInstall way %u out of range",
+                  way);
     rlt.insert(regionOf(ref.line), way);
     base_->onInstall(ref, way);
 }
@@ -146,6 +188,20 @@ GangedPolicy::name() const
 {
     const std::string inner = base_->name();
     return inner == "rand" ? "gws" : inner + "+gws";
+}
+
+void
+GangedPolicy::audit(InvariantAuditor &auditor) const
+{
+    rit.audit(auditor, "rit", geom_.ways, params.ritEntries);
+    rlt.audit(auditor, "rlt", geom_.ways, params.rltEntries);
+    if (rlt_hits > predictions) {
+        auditor.fail("gws-coverage",
+                     "rlt hits %llu exceed predictions %llu",
+                     static_cast<unsigned long long>(rlt_hits),
+                     static_cast<unsigned long long>(predictions));
+    }
+    base_->audit(auditor);
 }
 
 double

@@ -52,6 +52,15 @@ class RegionTable
     /** Valid entries (for tests). */
     unsigned occupancy() const;
 
+    /**
+     * Record table-consistency violations: capacity above the
+     * configured bound, stored ways >= maxWays, duplicate regions, or
+     * LRU stamps ahead of the use clock.  `label` distinguishes RIT
+     * from RLT in the report.
+     */
+    void audit(InvariantAuditor &auditor, const char *label,
+               unsigned maxWays, unsigned maxEntries) const;
+
   private:
     struct Slot
     {
@@ -92,6 +101,7 @@ class GangedPolicy : public WayPolicy
     void onInstall(const LineRef &ref, unsigned way) override;
     std::uint64_t storageBits() const override;
     std::string name() const override;
+    void audit(InvariantAuditor &auditor) const override;
 
     /** Fraction of predictions served by the RLT (for analysis). */
     double rltCoverage() const;

@@ -1,6 +1,7 @@
 #include "core/predictors.hpp"
 
 #include "common/bits.hpp"
+#include "common/invariant_auditor.hpp"
 #include "common/log.hpp"
 
 namespace accord::core
@@ -26,12 +27,15 @@ MruPolicy::install(const LineRef &)
 void
 MruPolicy::onHit(const LineRef &ref, unsigned way)
 {
+    ACCORD_ASSERT(way < geom_.ways, "onHit way %u out of range", way);
     mru[ref.set] = static_cast<std::uint8_t>(way);
 }
 
 void
 MruPolicy::onInstall(const LineRef &ref, unsigned way)
 {
+    ACCORD_ASSERT(way < geom_.ways, "onInstall way %u out of range",
+                  way);
     mru[ref.set] = static_cast<std::uint8_t>(way);
 }
 
@@ -41,6 +45,19 @@ MruPolicy::storageBits() const
     const unsigned way_bits =
         geom_.ways > 1 ? floorLog2(geom_.ways) : 1;
     return geom_.sets * way_bits;
+}
+
+void
+MruPolicy::audit(InvariantAuditor &auditor) const
+{
+    for (std::uint64_t set = 0; set < geom_.sets; ++set) {
+        if (mru[set] >= geom_.ways) {
+            auditor.fail("mru-way-range",
+                         "set %llu: mru way %u out of range (ways=%u)",
+                         static_cast<unsigned long long>(set), mru[set],
+                         geom_.ways);
+        }
+    }
 }
 
 PartialTagPolicy::PartialTagPolicy(const CacheGeometry &geom,
@@ -83,6 +100,8 @@ PartialTagPolicy::install(const LineRef &)
 void
 PartialTagPolicy::onInstall(const LineRef &ref, unsigned way)
 {
+    ACCORD_ASSERT(way < geom_.ways, "onInstall way %u out of range",
+                  way);
     const std::uint64_t index = ref.set * geom_.ways + way;
     tags[index] = partialOf(ref);
     valid[index] = 1;
@@ -92,6 +111,25 @@ std::uint64_t
 PartialTagPolicy::storageBits() const
 {
     return geom_.lines() * tag_bits;
+}
+
+void
+PartialTagPolicy::audit(InvariantAuditor &auditor) const
+{
+    for (std::uint64_t i = 0; i < geom_.lines(); ++i) {
+        if (valid[i] > 1) {
+            auditor.fail("ptag-valid-flag",
+                         "slot %llu: valid flag %u is not boolean",
+                         static_cast<unsigned long long>(i), valid[i]);
+        }
+        if (valid[i] && (tags[i] & ~tag_mask) != 0) {
+            auditor.fail("ptag-tag-range",
+                         "slot %llu: partial tag %02x exceeds %u-bit "
+                         "mask",
+                         static_cast<unsigned long long>(i), tags[i],
+                         tag_bits);
+        }
+    }
 }
 
 PerfectPolicy::PerfectPolicy(const CacheGeometry &geom,

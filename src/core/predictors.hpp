@@ -34,6 +34,7 @@ class MruPolicy : public WayPolicy
     void onInstall(const LineRef &ref, unsigned way) override;
     std::uint64_t storageBits() const override;
     std::string name() const override { return "mru"; }
+    void audit(InvariantAuditor &auditor) const override;
 
   private:
     std::vector<std::uint8_t> mru;  // [set]
@@ -56,6 +57,7 @@ class PartialTagPolicy : public WayPolicy
     void onInstall(const LineRef &ref, unsigned way) override;
     std::uint64_t storageBits() const override;
     std::string name() const override { return "ptag"; }
+    void audit(InvariantAuditor &auditor) const override;
 
   private:
     std::uint8_t partialOf(const LineRef &ref) const;

@@ -22,6 +22,11 @@
 
 #include "common/types.hpp"
 
+namespace accord
+{
+class InvariantAuditor;
+} // namespace accord
+
 namespace accord::core
 {
 
@@ -99,6 +104,14 @@ class WayPolicy
 
     /** SRAM bits this policy needs (paper Tables II and IX). */
     virtual std::uint64_t storageBits() const { return 0; }
+
+    /**
+     * Record violations of policy-internal invariants (table bounds,
+     * stored way ids, ...) into the auditor.  Stateless policies have
+     * nothing to check; stateful ones (GWS, MRU, partial tags)
+     * override.
+     */
+    virtual void audit(InvariantAuditor &) const {}
 
     /** Short name for stat dumps ("pws", "pws+gws", ...). */
     virtual std::string name() const = 0;

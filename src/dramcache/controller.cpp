@@ -1,5 +1,6 @@
 #include "dramcache/controller.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
@@ -7,6 +8,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/predictors.hpp"
+#include "dramcache/audit.hpp"
 
 namespace accord::dramcache
 {
@@ -108,7 +110,8 @@ DramCacheController::DramCacheController(
       policy_(std::move(policy)), eq(eq), nvm(nvm),
       hbm_(fitTiming(timing, params.capacityBytes), eq),
       layout(geom, hbm_.params(), params.layout), tags(geom),
-      install_rng(params.seed ^ 0x1e57a11ULL)
+      install_rng(params.seed ^ 0x1e57a11ULL),
+    audit_countdown(params.auditInterval)
 {
     if (params.org == Organization::ColumnAssoc) {
         ACCORD_ASSERT(!policy_, "CA-cache does not take a way policy");
@@ -135,6 +138,133 @@ DramCacheController::DramCacheController(
             });
         }
     }
+}
+
+void
+DramCacheController::auditCaSlotRange(InvariantAuditor &auditor,
+                                      std::uint64_t firstSlot,
+                                      std::uint64_t lastSlot) const
+{
+    // CA mode stores full line addresses as tags; each resident line
+    // must sit in its primary slot or that slot's pair (layout
+    // consistency), and if the DCP tracks it, the entry's 0/1 slot
+    // selector must resolve to the slot actually holding it.
+    for (std::uint64_t slot = firstSlot; slot < lastSlot; ++slot) {
+        if (!tags.valid(slot, 0))
+            continue;
+        const LineAddr line = tags.tag(slot, 0);
+        const std::uint64_t primary = primarySlot(line);
+        if (slot != primary && slot != pairSlot(primary)) {
+            auditor.fail(
+                "ca-slot",
+                "slot %llu holds line %llx whose primary is %llu",
+                static_cast<unsigned long long>(slot),
+                static_cast<unsigned long long>(line),
+                static_cast<unsigned long long>(primary));
+        }
+        const auto sel = dcp.lookup(line);
+        if (sel && *sel > 1) {
+            auditor.fail("dcp-way-range",
+                         "line %llx: CA slot selector %u not 0/1",
+                         static_cast<unsigned long long>(line), *sel);
+        } else if (sel
+                   && (*sel == 0 ? primary : pairSlot(primary))
+                          != slot) {
+            auditor.fail(
+                "dcp-coherence",
+                "line %llx: directory selector %u resolves to slot "
+                "%llu, but slot %llu holds it",
+                static_cast<unsigned long long>(line), *sel,
+                static_cast<unsigned long long>(
+                    *sel == 0 ? primary : pairSlot(primary)),
+                static_cast<unsigned long long>(slot));
+        }
+    }
+}
+
+void
+DramCacheController::auditWindow(InvariantAuditor &auditor,
+                                 std::uint64_t firstSet,
+                                 std::uint64_t lastSet) const
+{
+    auditTagStoreRange(tags, auditor, firstSet, lastSet);
+    if (params.org == Organization::ColumnAssoc) {
+        auditCaSlotRange(auditor, firstSet, lastSet);
+    } else {
+        if (policy_) {
+            auditPlacementRange(tags, *policy_, auditor, firstSet,
+                                lastSet);
+            // Policy tables are global, not per-set; audit them once
+            // per rotation instead of once per window.
+            if (firstSet == 0)
+                policy_->audit(auditor);
+        }
+        auditDcpForward(dcp, tags, auditor, firstSet, lastSet);
+    }
+    // In-flight transactions sample some counters at issue and others
+    // at completion, so the identities only hold at quiescence.
+    if (quiesced())
+        auditStats(stats_, auditor);
+}
+
+void
+DramCacheController::audit(InvariantAuditor &auditor) const
+{
+    auditTagStore(tags, auditor);
+    if (params.org == Organization::ColumnAssoc) {
+        auditCaSlotRange(auditor, 0, geom.sets);
+        // Reverse direction: stale DCP entries for lines no longer
+        // resident anywhere, which the forward per-slot check above
+        // cannot see.
+        for (const auto &[line, sel] : dcp.entries()) {
+            if (sel > 1) {
+                auditor.fail("dcp-way-range",
+                             "line %llx: CA slot selector %u not 0/1",
+                             static_cast<unsigned long long>(line),
+                             sel);
+                continue;
+            }
+            const std::uint64_t primary = primarySlot(line);
+            const std::uint64_t slot =
+                sel == 0 ? primary : pairSlot(primary);
+            if (!slotHolds(slot, line)) {
+                auditor.fail(
+                    "dcp-coherence",
+                    "line %llx: directory says slot %llu, which does "
+                    "not hold it",
+                    static_cast<unsigned long long>(line),
+                    static_cast<unsigned long long>(slot));
+            }
+        }
+    } else {
+        if (policy_) {
+            auditPlacement(tags, *policy_, auditor);
+            policy_->audit(auditor);
+        }
+        auditDcp(dcp, tags, auditor);
+    }
+    // In-flight transactions sample some counters at issue and others
+    // at completion, so the identities only hold at quiescence.
+    if (quiesced())
+        auditStats(stats_, auditor);
+}
+
+void
+DramCacheController::maybeAudit()
+{
+    if (params.auditInterval == 0 || --audit_countdown != 0)
+        return;
+    audit_countdown = params.auditInterval;
+    InvariantAuditor auditor;
+    // One bounded slice per firing, rotating through the array, so
+    // the amortized audit cost stays O(1) per demand read no matter
+    // the cache size (a full sweep here made Debug runs ~30x slower).
+    constexpr std::uint64_t window = 1024;
+    const std::uint64_t first = audit_cursor;
+    const std::uint64_t last = std::min(first + window, geom.sets);
+    audit_cursor = last >= geom.sets ? 0 : last;
+    auditWindow(auditor, first, last);
+    auditor.enforce(describe().c_str());
 }
 
 std::string
@@ -304,6 +434,9 @@ DramCacheController::issueCacheOp(std::uint64_t set, unsigned way,
 bool
 DramCacheController::warmRead(LineAddr line)
 {
+#if ACCORD_CHECKS_ENABLED
+    maybeAudit();
+#endif
     if (params.org == Organization::ColumnAssoc)
         return warmReadCa(line);
 
@@ -359,6 +492,9 @@ DramCacheController::warmWriteback(LineAddr line)
 void
 DramCacheController::read(LineAddr line, ReadDone done)
 {
+#if ACCORD_CHECKS_ENABLED
+    maybeAudit();
+#endif
     if (params.org == Organization::ColumnAssoc) {
         readCa(line, std::move(done));
         return;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/invariant_auditor.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/way_policy.hpp"
@@ -96,6 +97,16 @@ struct DramCacheParams
     LayoutMode layout = LayoutMode::RowCoLocated;
 
     std::uint64_t seed = 7;
+
+    /**
+     * Run an invariant audit every this many demand reads when checks
+     * are compiled in (Debug, ACCORD_CHECKS, or sanitizer builds); 0
+     * disables the periodic sweep.  Each firing audits a bounded slice
+     * of sets (rotating through the whole array over successive
+     * firings) so the amortized cost stays O(1) per access even for
+     * gigascale caches.  Release builds compile the hook out entirely.
+     */
+    std::uint32_t auditInterval = 4096;
 };
 
 /** Controller statistics. */
@@ -195,6 +206,27 @@ class DramCacheController
     /** Short description ("dm", "2-way pws+gws serial", ...). */
     std::string describe() const;
 
+    /**
+     * Record every violated model-state invariant into the auditor:
+     * tag-store consistency, way-placement legality, DCP coherence,
+     * policy-internal tables, and (when quiesced) stats identities.
+     * Always available; the periodic self-audit driven by
+     * DramCacheParams::auditInterval calls this under
+     * ACCORD_CHECKS_ENABLED and panics on any violation.
+     */
+    void audit(InvariantAuditor &auditor) const;
+
+    /**
+     * audit() restricted to sets [firstSet, lastSet), plus the cheap
+     * global checks (policy tables when the window wraps to 0, stats
+     * identities when quiesced).  Cost is bounded by the window, not
+     * the cache — the periodic self-audit rotates this window.  The
+     * only check it lacks relative to a full audit() is detection of
+     * stale DCP entries for lines no longer resident anywhere.
+     */
+    void auditWindow(InvariantAuditor &auditor, std::uint64_t firstSet,
+                     std::uint64_t lastSet) const;
+
   private:
     /** Probe order for a line: predicted way first, then candidates. */
     unsigned probeOrder(const core::LineRef &ref,
@@ -251,6 +283,14 @@ class DramCacheController
     // Writeback helpers shared by both paths.
     void writebackCommon(LineAddr line, bool timed);
 
+    /** Count down to the next periodic self-audit and run it. */
+    void maybeAudit();
+
+    /** Column-associative slot-placement checks over a slot range. */
+    void auditCaSlotRange(InvariantAuditor &auditor,
+                          std::uint64_t firstSlot,
+                          std::uint64_t lastSlot) const;
+
     DramCacheParams params;
     core::CacheGeometry geom;
     std::unique_ptr<core::WayPolicy> policy_;
@@ -268,6 +308,12 @@ class DramCacheController
     /** Per-line recency stamps for the LRU ablation (empty if unused). */
     std::vector<std::uint64_t> lru_stamps;
     std::uint64_t lru_clock = 0;
+
+    /** Demand reads until the next periodic self-audit. */
+    std::uint32_t audit_countdown = 0;
+
+    /** First set of the next periodic self-audit's rotating window. */
+    std::uint64_t audit_cursor = 0;
 };
 
 } // namespace accord::dramcache

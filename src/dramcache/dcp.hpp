@@ -12,9 +12,12 @@
 #ifndef ACCORD_DRAMCACHE_DCP_HPP
 #define ACCORD_DRAMCACHE_DCP_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -47,7 +50,28 @@ class DcpDirectory
 
     std::size_t size() const { return map.size(); }
 
+    /**
+     * All (line, way) entries, sorted by line address.  This is the
+     * only way directory contents escape the hash table, so hash
+     * layout can never reach stats, logs, or audit reports.
+     */
+    std::vector<std::pair<LineAddr, unsigned>>
+    entries() const
+    {
+        std::vector<std::pair<LineAddr, unsigned>> out;
+        out.reserve(map.size());
+        // Hash-order iteration is safe here: entries are sorted below
+        // before they become visible to any caller.
+        // lint: allow(unordered-iteration)
+        for (const auto &entry : map)
+            out.emplace_back(entry.first, entry.second);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
   private:
+    // The hot lookup/record path keeps the hash map; iteration order
+    // is quarantined behind the sorting entries() accessor above.
     std::unordered_map<LineAddr, std::uint8_t> map;
 };
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/way_policy.hpp"
 
 namespace accord::dramcache
@@ -72,6 +73,11 @@ class TagStore
     std::size_t
     index(std::uint64_t set, unsigned way) const
     {
+        ACCORD_CHECK(set < geom.sets && way < geom.ways,
+                     "set %llu way %u outside %llu x %u geometry",
+                     static_cast<unsigned long long>(set), way,
+                     static_cast<unsigned long long>(geom.sets),
+                     geom.ways);
         return static_cast<std::size_t>(set * geom.ways + way);
     }
 

@@ -1,0 +1,30 @@
+// Lint fixture: every pattern here is either annotated with the
+// allow escape hatch or only looks like a violation.  The self-test
+// asserts the linter reports nothing.
+// expect-clean
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::uint64_t
+sumValues(const std::unordered_map<int, std::uint64_t> &external)
+{
+    std::unordered_map<int, std::uint64_t> counts = external;
+    std::uint64_t sum = 0;
+    // Order-insensitive reduction: addition commutes.
+    // lint: allow(unordered-iteration)
+    for (const auto &entry : counts)
+        sum += entry.second;
+    return sum;
+}
+
+// Identifiers merely containing "rand" or strings mentioning banned
+// names must not trip word-boundary rules.
+int
+operandCount(const std::vector<int> &operands)
+{
+    const char *label = "std::rand() is banned here";
+    (void)label;
+    return static_cast<int>(operands.size());
+}

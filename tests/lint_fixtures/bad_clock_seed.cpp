@@ -1,0 +1,13 @@
+// Lint fixture: seeding from a chrono clock.
+// expect: time-seed
+
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+makeSeed()
+{
+    const auto seed =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    return static_cast<std::uint64_t>(seed);
+}

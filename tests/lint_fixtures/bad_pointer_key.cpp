@@ -1,0 +1,10 @@
+// Lint fixture: ordered container keyed by pointer value.
+// expect: pointer-key
+
+#include <map>
+#include <set>
+
+struct Channel;
+
+std::map<Channel *, int> queue_depth;
+std::set<const Channel *> stalled;

@@ -1,0 +1,15 @@
+// Lint fixture: C library rand() seeded from the wall clock.
+// Never compiled; exists so the linter's self-test can prove the
+// `rand` and `time-seed` rules fire.
+// expect: rand
+// expect: time-seed
+
+#include <cstdlib>
+#include <ctime>
+
+int
+pickVictimWay(int ways)
+{
+    std::srand(time(nullptr));
+    return std::rand() % ways;
+}

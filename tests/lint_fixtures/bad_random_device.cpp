@@ -1,0 +1,13 @@
+// Lint fixture: std::random_device seeding an unowned std engine.
+// expect: random-device
+// expect: std-engine
+
+#include <random>
+
+unsigned
+rollDice()
+{
+    std::random_device entropy;
+    std::mt19937 gen(entropy());
+    return gen() % 6;
+}

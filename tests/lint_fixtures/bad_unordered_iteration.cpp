@@ -1,0 +1,13 @@
+// Lint fixture: hash-ordered iteration feeding printed output.
+// expect: unordered-iteration
+
+#include <cstdio>
+#include <unordered_map>
+
+void
+dumpHitCounts(const std::unordered_map<int, int> &external)
+{
+    std::unordered_map<int, int> hits = external;
+    for (const auto &entry : hits)
+        std::printf("%d %d\n", entry.first, entry.second);
+}

@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""Determinism lint for the ACCORD simulator sources.
+
+The parallel sweep runner guarantees bit-identical results across job
+counts and re-runs.  That guarantee rests on conventions no compiler
+enforces: every stochastic decision draws from an explicitly seeded
+``accord::Rng``, no output depends on hash-table or pointer ordering,
+and nothing seeds from wall-clock time.  This linter scans C++ sources
+for the known ways those conventions get broken.
+
+Rules
+-----
+``rand``
+    ``rand()`` / ``srand()`` / ``std::rand()``: hidden global state,
+    seeded implicitly, not reproducible across libcs.
+``random-device``
+    ``std::random_device``: nondeterministic by design.
+``std-engine``
+    ``std::mt19937`` and friends outside ``src/common/rng.hpp``; all
+    randomness must flow through the seeded ``accord::Rng``.
+``time-seed``
+    ``time(NULL)`` / ``time(nullptr)`` / ``time(0)``, or a
+    ``*_clock::now`` on a line that also mentions seeding: wall-clock
+    seeds make every run unique.
+``pointer-key``
+    ``std::map``/``std::set`` keyed by a pointer type: iteration order
+    follows allocation addresses, which vary run to run under ASLR.
+``unordered-iteration``
+    Range-``for`` over a variable declared in the same file as a
+    ``std::unordered_map``/``std::unordered_set``: bucket order depends
+    on the hash implementation and must never reach stats, tables, or
+    logs.  Sort first (see ``DcpDirectory::entries()``), or annotate a
+    provably order-insensitive loop.
+
+Escape hatch: a ``// lint: allow(<rule>)`` comment on the offending
+line or the line directly above suppresses that rule there.  Use it
+only with a comment explaining why the site is deterministic.
+
+Usage:
+    tools/lint_determinism.py [--root DIR] [paths...]
+    tools/lint_determinism.py --self-test tests/lint_fixtures
+
+With no paths, scans src/, bench/, tests/, and examples/ under the
+root (default: the repository containing this script), skipping
+tests/lint_fixtures.  Exits 1 if any violation is found.
+
+Self-test mode scans fixture files instead.  Fixtures declare the
+rules they must trigger with ``// expect: <rule>`` lines (one per
+rule) or declare ``// expect-clean``; the self-test fails if any
+expectation is not met, which guards the linter itself against
+regressions.  Stdlib only; no third-party imports.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
+DEFAULT_SCAN_DIRS = ("src", "bench", "tests", "examples")
+FIXTURE_DIR_NAME = "lint_fixtures"
+
+# Files where std::* engines are allowed (the one seeded wrapper).
+ENGINE_ALLOWLIST = ("src/common/rng.hpp",)
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+EXPECT_CLEAN_RE = re.compile(r"//\s*expect-clean")
+
+# Simple per-line rules: (name, regex, message).
+LINE_RULES = [
+    (
+        "rand",
+        re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("),
+        "rand()/srand() use hidden global state; draw from a seeded "
+        "accord::Rng instead",
+    ),
+    (
+        "random-device",
+        re.compile(r"std::random_device"),
+        "std::random_device is nondeterministic; seed an accord::Rng "
+        "explicitly",
+    ),
+    (
+        "time-seed",
+        re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+        "wall-clock time makes runs irreproducible; derive seeds from "
+        "the run configuration",
+    ),
+    (
+        "pointer-key",
+        re.compile(r"std::(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
+        "pointer-keyed ordered containers iterate in allocation order, "
+        "which varies under ASLR; key by a stable id",
+    ),
+]
+
+ENGINE_RULE = (
+    "std-engine",
+    re.compile(
+        r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+        r"|knuth_b|ranlux(?:24|48)(?:_base)?|subtract_with_carry_engine"
+        r"|mersenne_twister_engine|linear_congruential_engine)"
+    ),
+    "std random engines bypass the deterministic accord::Rng; only "
+    "src/common/rng.hpp may wrap one",
+)
+
+CLOCK_NOW_RE = re.compile(r"_clock\s*::\s*now\s*\(")
+SEED_CONTEXT_RE = re.compile(r"seed|Rng\s*[({]|srand", re.IGNORECASE)
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;{=(,)]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([\w.\->]+)\s*\)")
+
+
+class Violation:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def strip_strings(code):
+    """Blank out string and char literal contents (keeps the quotes)."""
+    out = []
+    i = 0
+    quote = None
+    while i < len(code):
+        c = code[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+                out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def split_code_lines(text):
+    """Yield (lineno, code, raw) with comments removed from `code`.
+
+    Tracks /* */ across lines; `raw` keeps the comments so allow- and
+    expect-annotations stay visible to the caller.
+    """
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = strip_strings(raw)
+        code = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            code.append(line[i])
+            i += 1
+        yield lineno, "".join(code), raw
+
+
+def collect_allows(raw_lines):
+    """Map line number -> set of rules allowed on that line."""
+    allows = {}
+    for lineno, raw in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            allows[lineno] = rules
+    return allows
+
+
+def is_allowed(allows, lineno, rule):
+    for at in (lineno, lineno - 1):
+        if rule in allows.get(at, set()):
+            return True
+    return False
+
+
+def lint_file(path, rel):
+    """Return the list of Violations in one file."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [Violation(rel, 0, "io", f"unreadable: {err}")]
+
+    raw_lines = text.splitlines()
+    allows = collect_allows(raw_lines)
+    violations = []
+    engines_allowed = any(rel.endswith(a) for a in ENGINE_ALLOWLIST)
+
+    # Pass 1: find names declared with unordered container types.
+    unordered_names = set()
+    for _, code, _ in split_code_lines(text):
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    # Pass 2: per-line rules.
+    code_lines = list(split_code_lines(text))
+    for i, (lineno, code, _) in enumerate(code_lines):
+        if not code.strip():
+            continue
+
+        for rule, regex, message in LINE_RULES:
+            if regex.search(code) and not is_allowed(allows, lineno, rule):
+                violations.append(Violation(rel, lineno, rule, message))
+
+        rule, regex, message = ENGINE_RULE
+        if (
+            not engines_allowed
+            and regex.search(code)
+            and not is_allowed(allows, lineno, rule)
+        ):
+            violations.append(Violation(rel, lineno, rule, message))
+
+        # A statement can break between the seed variable and the
+        # clock call, so give the context match a one-line window.
+        context = " ".join(
+            code_lines[j][1]
+            for j in (i - 1, i, i + 1)
+            if 0 <= j < len(code_lines)
+        )
+        if (
+            CLOCK_NOW_RE.search(code)
+            and SEED_CONTEXT_RE.search(context)
+            and not is_allowed(allows, lineno, "time-seed")
+        ):
+            violations.append(
+                Violation(
+                    rel,
+                    lineno,
+                    "time-seed",
+                    "clock-derived seed; derive seeds from the run "
+                    "configuration",
+                )
+            )
+
+        for m in RANGE_FOR_RE.finditer(code):
+            expr = m.group(1)
+            name = expr.split(".")[-1].split("->")[-1]
+            if name in unordered_names and not is_allowed(
+                allows, lineno, "unordered-iteration"
+            ):
+                violations.append(
+                    Violation(
+                        rel,
+                        lineno,
+                        "unordered-iteration",
+                        f"range-for over unordered container '{name}': "
+                        "bucket order is not deterministic; sort first "
+                        "or annotate an order-insensitive loop",
+                    )
+                )
+    return violations
+
+
+def iter_sources(root, paths):
+    if paths:
+        candidates = []
+        for p in paths:
+            p = pathlib.Path(p)
+            if p.is_dir():
+                candidates.extend(sorted(p.rglob("*")))
+            else:
+                candidates.append(p)
+    else:
+        candidates = []
+        for d in DEFAULT_SCAN_DIRS:
+            base = root / d
+            if base.is_dir():
+                candidates.extend(sorted(base.rglob("*")))
+    for p in candidates:
+        if p.suffix not in CXX_SUFFIXES or not p.is_file():
+            continue
+        if FIXTURE_DIR_NAME in p.parts:
+            continue
+        yield p
+
+
+def run_lint(root, paths):
+    violations = []
+    scanned = 0
+    for path in iter_sources(root, paths):
+        scanned += 1
+        try:
+            rel = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(path)
+        violations.extend(lint_file(path, rel))
+    for v in violations:
+        print(v)
+    print(
+        f"lint_determinism: {scanned} files scanned, "
+        f"{len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+def run_self_test(fixture_dir):
+    """Check every fixture triggers exactly the rules it declares."""
+    fixture_dir = pathlib.Path(fixture_dir)
+    fixtures = sorted(
+        p for p in fixture_dir.rglob("*") if p.suffix in CXX_SUFFIXES
+    )
+    if not fixtures:
+        print(f"self-test: no fixtures under {fixture_dir}")
+        return 1
+
+    failures = 0
+    for path in fixtures:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        expected = set(EXPECT_RE.findall(text))
+        expect_clean = bool(EXPECT_CLEAN_RE.search(text))
+        if not expected and not expect_clean:
+            print(f"self-test: {path}: no expectations declared")
+            failures += 1
+            continue
+        found = {v.rule for v in lint_file(path, str(path))}
+        if expect_clean and found:
+            print(f"self-test: {path}: expected clean, found {sorted(found)}")
+            failures += 1
+        missing = expected - found
+        if missing:
+            print(
+                f"self-test: {path}: rules not triggered: {sorted(missing)}"
+            )
+            failures += 1
+
+    verdict = "ok" if failures == 0 else f"{failures} failure(s)"
+    print(f"self-test: {len(fixtures)} fixtures, {verdict}")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="determinism lint for ACCORD C++ sources"
+    )
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: the repo containing this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        metavar="FIXTURE_DIR",
+        help="verify the linter against annotated fixture files",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to scan"
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test(args.self_test)
+    return run_lint(args.root, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
