@@ -41,16 +41,19 @@ runWith(const std::string &workload, sim::SystemConfig config,
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Ablations: GWS table size, DCP way bits, SWS k",
         "design-choice ablations referenced in DESIGN.md");
+    const Config &cli = rep.cli();
 
     const auto workloads = trace::mainWorkloadNames();
 
     // --- 1. GWS table size ------------------------------------------
     {
-        TextTable table({"rit/rlt entries", "wp-acc (amean)",
-                         "storage (bytes)"});
+        report::ReportTable &table = rep.table(
+            "gws_table_size",
+            {"rit/rlt entries", "wp-acc (amean)",
+             "storage (bytes)"});
         for (const unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
             std::vector<double> acc;
             std::uint64_t storage = 0;
@@ -67,15 +70,14 @@ main(int argc, char **argv)
                 .percent(amean(acc))
                 .cell(storage);
         }
-        std::printf("(1) GWS Recent Install/Lookup Table size\n");
-        table.print();
-        std::printf("\n");
     }
 
     // --- 2. DCP way bits --------------------------------------------
     {
-        TextTable table({"writeback routing", "xfers/read (amean)",
-                         "wb probe transfers / wb"});
+        report::ReportTable &table = rep.table(
+            "dcp_way_bits",
+            {"writeback routing", "xfers/read (amean)",
+             "wb probe transfers / wb"});
         for (const bool dcp : {true, false}) {
             std::vector<double> xfers, probes;
             for (const auto &workload : workloads) {
@@ -99,15 +101,13 @@ main(int argc, char **argv)
                 .cell(amean(xfers), 3)
                 .cell(amean(probes), 2);
         }
-        std::printf("(2) Writeback probe elision via DCP way bits\n");
-        table.print();
-        std::printf("\n");
     }
 
     // --- 3. SWS(8,k) ------------------------------------------------
     {
-        TextTable table({"design", "hit-rate (amean)",
-                         "miss-confirm probes"});
+        report::ReportTable &table = rep.table(
+            "sws_k", {"design", "hit-rate (amean)",
+                      "miss-confirm probes"});
         for (const unsigned k : {2u, 3u, 4u, 8u}) {
             std::vector<double> hits;
             for (const auto &workload : workloads) {
@@ -121,15 +121,14 @@ main(int argc, char **argv)
                 .percent(amean(hits))
                 .cell(std::to_string(k));
         }
-        std::printf("(3) SWS alternate-location count\n");
-        table.print();
-        std::printf("\n");
     }
 
     // --- 4. LRU vs random replacement in the L4 ---------------------
     {
-        TextTable table({"replacement", "hit-rate (amean)",
-                         "xfers/read (amean)", "update writes/hit"});
+        report::ReportTable &table = rep.table(
+            "l4_replacement",
+            {"replacement", "hit-rate (amean)",
+             "xfers/read (amean)", "update writes/hit"});
         for (const char *name : {"2way-serial", "2way-lru"}) {
             std::vector<double> hits, xfers, updates;
             for (const auto &workload : workloads) {
@@ -154,15 +153,13 @@ main(int argc, char **argv)
                 .cell(amean(xfers), 3)
                 .cell(amean(updates), 2);
         }
-        std::printf("(4) DRAM-cache replacement policy (footnote 2)\n");
-        table.print();
-        std::printf("\n");
     }
 
     // --- 5. Row-co-located vs striped way placement (timed) ---------
     {
-        TextTable table({"layout", "speedup vs dm (gmean)",
-                         "row-hit rate"});
+        report::ReportTable &table = rep.table(
+            "way_placement", {"layout", "speedup vs dm (gmean)",
+                              "row-hit rate"});
         const std::vector<std::string> subset = {"sphinx", "libq",
                                                  "wrf", "gcc", "mcf"};
         for (const auto mode :
@@ -190,15 +187,13 @@ main(int argc, char **argv)
                 .cell(geomean(speedups), 3)
                 .percent(amean(row_hits));
         }
-        std::printf("(5) Way placement in the DRAM array "
-                    "(Section VII claim)\n");
-        table.print();
-        std::printf("\n");
     }
 
     // --- 6. NVM vs DDR main memory (timed) --------------------------
     {
-        TextTable table({"main memory", "accord speedup (gmean)"});
+        report::ReportTable &table = rep.table(
+            "main_memory_technology",
+            {"main memory", "accord speedup (gmean)"});
         const std::vector<std::string> subset = {"libq", "wrf", "gcc",
                                                  "soplex", "mcf"};
         for (const bool nvm_mem : {true, false}) {
@@ -222,11 +217,7 @@ main(int argc, char **argv)
                               : "conventional DDR")
                 .cell(geomean(speedups), 3);
         }
-        std::printf("(6) Main-memory technology "
-                    "(Section II-B premise)\n");
-        table.print();
     }
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -2,23 +2,25 @@
  * @file
  * Shared scaffolding for the table/figure-regeneration benches.
  *
- * Every bench binary regenerates one table or figure of the paper:
- * it sweeps the paper's configurations over the calibrated workload
- * suite and prints the same rows/series the paper reports, plus the
- * run parameters (scale, seed) needed to reproduce the output.
+ * Every bench binary regenerates one table or figure of the paper: it
+ * sweeps the paper's configurations over the calibrated workload suite
+ * and emits the same rows/series the paper reports through a
+ * report::Reporter, which prints the human-readable tables and, when
+ * --json=<path> / --csv=<path> are given, writes the machine-readable
+ * run report built from the very same cells.
  */
 
 #ifndef ACCORD_BENCH_COMMON_HPP
 #define ACCORD_BENCH_COMMON_HPP
 
-#include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
-#include "common/table.hpp"
+#include "sim/report/reporter.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
 #include "trace/workloads.hpp"
@@ -26,20 +28,26 @@
 namespace accord::bench
 {
 
-/** Parse CLI overrides and print the bench banner. */
-inline Config
-setup(int argc, char **argv, const char *title, const char *paper_ref)
+/** Resolve one functional (untimed) configuration. */
+inline sim::SystemConfig
+functionalConfig(const std::string &workload, const std::string &name,
+                 const Config &cli)
 {
-    Config cli;
-    cli.parseArgs(argc, argv);
-    std::printf("=== %s ===\n", title);
-    std::printf("reproduces: %s\n", paper_ref);
-    std::printf("scale=1/%llu seed=%llu (override with key=value args)"
-                "\n\n",
-                static_cast<unsigned long long>(
-                    cli.getUint("scale", 128)),
-                static_cast<unsigned long long>(cli.getUint("seed", 1)));
-    return cli;
+    sim::SystemConfig config = sim::namedConfig(workload, name);
+    config.runTimed = false;
+    sim::applyCliOverrides(config, cli);
+    return config;
+}
+
+/** Resolve one timed configuration. */
+inline sim::SystemConfig
+timedConfig(const std::string &workload, const std::string &name,
+            const Config &cli)
+{
+    sim::SystemConfig config = sim::namedConfig(workload, name);
+    config.runTimed = true;
+    sim::applyCliOverrides(config, cli);
+    return config;
 }
 
 /** Run one functional (untimed) configuration. */
@@ -47,10 +55,7 @@ inline sim::SystemMetrics
 runFunctional(const std::string &workload, const std::string &name,
               const Config &cli)
 {
-    sim::SystemConfig config = sim::namedConfig(workload, name);
-    config.runTimed = false;
-    sim::applyCliOverrides(config, cli);
-    return sim::runSystem(config);
+    return sim::runSystem(functionalConfig(workload, name, cli));
 }
 
 /** Run one timed configuration. */
@@ -58,10 +63,22 @@ inline sim::SystemMetrics
 runTimed(const std::string &workload, const std::string &name,
          const Config &cli)
 {
-    sim::SystemConfig config = sim::namedConfig(workload, name);
-    config.runTimed = true;
-    sim::applyCliOverrides(config, cli);
-    return sim::runSystem(config);
+    return sim::runSystem(timedConfig(workload, name, cli));
+}
+
+/**
+ * Record one finished run into the report: its canonical config spec,
+ * its final metric snapshot, and (when epoch= sampling was on) its
+ * epoch time-series.
+ */
+inline void
+recordRun(report::RunReport &report, const std::string &key,
+          const sim::SystemConfig &config, const sim::SystemMetrics &m)
+{
+    report.setRunSpec(key, sim::canonicalConfigSpec(config));
+    report.addRunMetrics(key, m.finalMetrics);
+    if (!m.epochs.empty())
+        report.addRunSeries(key, m.epochs);
 }
 
 /**
@@ -112,14 +129,14 @@ class SpeedupSweep
         return result_.baselines.at(workload);
     }
 
-    /** Print the per-workload speedup table plus the gmean row. */
-    void
-    printTable() const
+    /** Build the per-workload speedup table plus the gmean row. */
+    report::ReportTable &
+    addTable(report::Reporter &rep, const std::string &name) const
     {
         std::vector<std::string> header = {"workload"};
         for (const auto &config : configs())
             header.push_back(config);
-        TextTable table(header);
+        report::ReportTable &table = rep.table(name, header);
         for (std::size_t w = 0; w < workloads().size(); ++w) {
             table.row().cell(workloads()[w]);
             for (const auto &config : configs())
@@ -128,7 +145,33 @@ class SpeedupSweep
         table.row().cell("gmean");
         for (const auto &config : configs())
             table.cell(gmean(config), 3);
-        table.print();
+        return table;
+    }
+
+    /**
+     * Record every run of the sweep (baselines and configurations)
+     * into the report, keyed "<workload>/dm" and "<workload>/<config>",
+     * with the per-run "speedup" derived value attached.  Rebuilds
+     * each SystemConfig exactly as the sweep runner did, so the
+     * recorded canonical specs match the runs.
+     */
+    void
+    record(report::Reporter &rep) const
+    {
+        report::RunReport &report = rep.report();
+        for (std::size_t w = 0; w < workloads().size(); ++w) {
+            const std::string &workload = workloads()[w];
+            sim::SystemConfig base = sim::baselineConfig(workload);
+            sim::applyCliOverrides(base, rep.cli());
+            recordRun(report, workload + "/dm", base, baseline(w));
+            for (const auto &name : configs()) {
+                const std::string key = workload + "/" + name;
+                recordRun(report, key,
+                          timedConfig(workload, name, rep.cli()),
+                          metrics(name, w));
+                report.addRunValue(key, "speedup", speedup(name, w));
+            }
+        }
     }
 
   private:
@@ -172,6 +215,20 @@ class FunctionalSweep
         for (const sim::SystemMetrics &m : grid_.at(config))
             values.push_back(metric(m));
         return values;
+    }
+
+    /** Record every run of the grid, keyed "<workload>/<config>". */
+    void
+    record(report::Reporter &rep) const
+    {
+        for (const auto &name : configs_) {
+            for (std::size_t w = 0; w < workloads_.size(); ++w) {
+                recordRun(rep.report(), workloads_[w] + "/" + name,
+                          functionalConfig(workloads_[w], name,
+                                           rep.cli()),
+                          metrics(name, w));
+            }
+        }
     }
 
   private:

@@ -18,10 +18,11 @@ using bench::SpeedupSweep;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 1: impact of set associativity",
         "Fig 1(a) hit rate, Fig 1(b) parallel lookup, Fig 1(c) "
         "idealized lookup");
+    const Config &cli = rep.cli();
 
     const auto workloads = trace::mainWorkloadNames();
 
@@ -36,13 +37,11 @@ main(int argc, char **argv)
                     bench::runFunctional(workload, configs[i], cli)
                         .hitRate);
         }
-        TextTable table({"ways", "hit-rate (amean)"});
+        report::ReportTable &table = rep.table(
+            "hit_rate_vs_ways", {"ways", "hit-rate (amean)"});
         const char *labels[4] = {"1-way", "2-way", "4-way", "8-way"};
         for (int i = 0; i < 4; ++i)
             table.row().cell(labels[i]).percent(amean(rates[i]));
-        std::printf("(a) Hit rate vs associativity\n");
-        table.print();
-        std::printf("\n");
     }
 
     // (b)+(c) speedups of parallel and idealized designs.
@@ -52,7 +51,9 @@ main(int argc, char **argv)
                             "8way-parallel", "2way-ideal", "4way-ideal",
                             "8way-ideal"},
                            cli);
-        TextTable table({"ways", "parallel (b)", "idealized (c)"});
+        report::ReportTable &table = rep.table(
+            "lookup_speedup",
+            {"ways", "parallel (b)", "idealized (c)"});
         table.row()
             .cell("2-way")
             .cell(sweep.gmean("2way-parallel"), 3)
@@ -65,10 +66,7 @@ main(int argc, char **argv)
             .cell("8-way")
             .cell(sweep.gmean("8way-parallel"), 3)
             .cell(sweep.gmean("8way-ideal"), 3);
-        std::printf("(b)(c) Speedup over direct-mapped (gmean)\n");
-        table.print();
     }
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -60,14 +60,15 @@ cyclicHitRate(unsigned iterations, double pip, std::uint64_t seed)
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 6: cyclic-reference kernel vs PIP",
         "Fig 6 (hit rate of (a,b)^N under PWS for PIP=50..90%)");
-    const std::uint64_t seed = cli.getUint("seed", 1);
+    const std::uint64_t seed = rep.cli().getUint("seed", 1);
 
     const double pips[] = {0.50, 0.70, 0.80, 0.90};
-    TextTable table({"N", "PIP=50%", "PIP=70%", "PIP=80%", "PIP=90%",
-                     "PIP=100%"});
+    report::ReportTable &table = rep.table(
+        "cyclic_hit_rate", {"N", "PIP=50%", "PIP=70%", "PIP=80%",
+                            "PIP=90%", "PIP=100%"});
     for (unsigned n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
         table.row().cell(std::to_string(n));
         for (const double pip : pips)
@@ -77,8 +78,5 @@ main(int argc, char **argv)
         // the curve saturates near 50% instead of learning to ~100%.
         table.percent(cyclicHitRate(n, 1.0, seed));
     }
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -15,16 +15,17 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 7: way-prediction accuracy (2-way)",
         "Fig 7 (accuracy of Rand / PWS / GWS / PWS+GWS per workload)");
 
     const bench::FunctionalSweep sweep(
         trace::mainWorkloadNames(),
-        {"2way-rand", "2way-pws", "2way-gws", "2way-pws+gws"}, cli);
+        {"2way-rand", "2way-pws", "2way-gws", "2way-pws+gws"},
+        rep.cli());
 
-    TextTable table(
-        {"workload", "rand", "pws", "gws", "pws+gws"});
+    report::ReportTable &table = rep.table(
+        "wp_accuracy", {"workload", "rand", "pws", "gws", "pws+gws"});
     std::vector<double> rand_acc, pws_acc, gws_acc, both_acc;
     for (std::size_t w = 0; w < sweep.workloads().size(); ++w) {
         const double r = sweep.metrics("2way-rand", w).wpAccuracy;
@@ -44,8 +45,5 @@ main(int argc, char **argv)
         .percent(amean(pws_acc))
         .percent(amean(gws_acc))
         .percent(amean(both_acc));
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

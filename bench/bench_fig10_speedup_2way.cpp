@@ -16,17 +16,17 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 10: 2-way DRAM cache speedup",
         "Fig 10 (parallel / serial / PWS / GWS / PWS+GWS / perfect)");
 
-    bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
-                              {"2way-parallel", "2way-serial",
-                               "2way-pws", "2way-gws", "2way-pws+gws",
-                               "2way-perfect"},
-                              cli);
-    sweep.printTable();
+    const bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
+                                    {"2way-parallel", "2way-serial",
+                                     "2way-pws", "2way-gws",
+                                     "2way-pws+gws", "2way-perfect"},
+                                    rep.cli());
+    sweep.addTable(rep, "speedup_2way");
+    sweep.record(rep);
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -18,12 +18,13 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 12: ACCORD across all 46 workloads",
         "Fig 12 (ACCORD 2-way and SWS(8,2) S-curves)");
 
-    bench::SpeedupSweep sweep(trace::allWorkloadNames(),
-                              {"2way-pws+gws", "8way-sws+gws"}, cli);
+    const bench::SpeedupSweep sweep(trace::allWorkloadNames(),
+                                    {"2way-pws+gws", "8way-sws+gws"},
+                                    rep.cli());
 
     // S-curve: per-config speedups in ascending order.
     for (const auto &config : sweep.configs()) {
@@ -33,16 +34,14 @@ main(int argc, char **argv)
                                sweep.workloads()[w]);
         std::sort(curve.begin(), curve.end());
 
-        std::printf("S-curve for %s (ascending):\n", config.c_str());
-        TextTable table({"rank", "workload", "speedup"});
+        report::ReportTable &table = rep.table(
+            "s_curve_" + config, {"rank", "workload", "speedup"});
         for (std::size_t i = 0; i < curve.size(); ++i) {
             table.row()
                 .cell(static_cast<std::uint64_t>(i + 1))
                 .cell(curve[i].second)
                 .cell(curve[i].first, 3);
         }
-        table.print();
-        std::printf("\n");
     }
 
     // Averages: all workloads and the 10 mixes.
@@ -53,10 +52,9 @@ main(int argc, char **argv)
             if (trace::isMix(sweep.workloads()[w]))
                 mixes.push_back(sweep.speedup(config, w));
         }
-        std::printf("%s: gmean(all 46) = %.3f, gmean(10 mixes) = %.3f\n",
-                    config.c_str(), geomean(all), geomean(mixes));
+        rep.note("%s: gmean(all 46) = %.3f, gmean(10 mixes) = %.3f",
+                 config.c_str(), geomean(all), geomean(mixes));
     }
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

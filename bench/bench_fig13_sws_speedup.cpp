@@ -16,16 +16,16 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 13: ACCORD with Skewed Way-Steering",
         "Fig 13 (ACCORD 2-way / SWS(4,2) / SWS(8,2) speedup)");
 
-    bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
-                              {"2way-pws+gws", "4way-sws+gws",
-                               "8way-sws+gws"},
-                              cli);
-    sweep.printTable();
+    const bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
+                                    {"2way-pws+gws", "4way-sws+gws",
+                                     "8way-sws+gws"},
+                                    rep.cli());
+    sweep.addTable(rep, "sws_speedup");
+    sweep.record(rep);
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

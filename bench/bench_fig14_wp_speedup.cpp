@@ -15,18 +15,18 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 14: way-predictor speedups (2-way)",
         "Fig 14 (CA-cache / MRU / Partial-Tag / ACCORD speedup)");
 
-    bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
-                              {"ca", "2way-mru", "2way-ptag",
-                               "2way-pws+gws"},
-                              cli);
-    sweep.printTable();
-    std::printf("\nSRAM cost on the full 4GB cache: CA-cache 0, MRU "
-                "4MB, partial-tag 32MB, ACCORD 320 bytes.\n");
+    const bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
+                                    {"ca", "2way-mru", "2way-ptag",
+                                     "2way-pws+gws"},
+                                    rep.cli());
+    sweep.addTable(rep, "wp_speedup");
+    sweep.record(rep);
+    rep.note("SRAM cost on the full 4GB cache: CA-cache 0, MRU 4MB, "
+             "partial-tag 32MB, ACCORD 320 bytes.");
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -15,15 +15,17 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Figure 15: memory-system energy",
         "Fig 15 (speedup / power / energy / EDP vs direct-mapped)");
 
-    bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
-                              {"2way-pws+gws", "8way-sws+gws"}, cli);
+    const bench::SpeedupSweep sweep(trace::mainWorkloadNames(),
+                                    {"2way-pws+gws", "8way-sws+gws"},
+                                    rep.cli());
 
-    TextTable table({"config", "speedup", "power", "energy", "EDP",
-                     "cache-energy", "mem-energy"});
+    report::ReportTable &table = rep.table(
+        "energy", {"config", "speedup", "power", "energy", "EDP",
+                   "cache-energy", "mem-energy"});
     for (const auto &config : sweep.configs()) {
         std::vector<double> speedup, power, energy, edp, cache_e, mem_e;
         for (std::size_t w = 0; w < sweep.workloads().size(); ++w) {
@@ -46,10 +48,8 @@ main(int argc, char **argv)
             .cell(geomean(cache_e), 3)
             .cell(geomean(mem_e), 3);
     }
-    table.print();
-    std::printf("\n(all values normalized to the direct-mapped "
-                "baseline; <1 is better except speedup)\n");
+    rep.note("(all values normalized to the direct-mapped baseline; "
+             "<1 is better except speedup)");
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

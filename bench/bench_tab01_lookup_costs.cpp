@@ -99,12 +99,13 @@ measure(unsigned ways, dramcache::LookupMode lookup,
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table I: lookup costs per organization",
         "Table I (accesses and line transfers on a hit and a miss)");
 
-    TextTable table({"organization", "hit transfers", "miss transfers",
-                     "paper hit", "paper miss"});
+    report::ReportTable &table = rep.table(
+        "lookup_costs", {"organization", "hit transfers",
+                         "miss transfers", "paper hit", "paper miss"});
 
     const auto dm = measure(1, dramcache::LookupMode::Serial, "");
     table.row().cell("direct-mapped").cell(dm.hitTransfers, 2)
@@ -152,7 +153,5 @@ main(int argc, char **argv)
             .cell("2");
     }
 
-    table.print();
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -64,13 +64,15 @@ humanBytes(std::uint64_t bytes)
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table II: conventional way predictors",
         "Table II (accuracy and storage of Rand/MRU/Partial-Tag on a "
         "4GB cache)");
+    const Config &cli = rep.cli();
 
-    TextTable table({"ways", "rand acc", "mru acc", "ptag acc",
-                     "rand SRAM", "mru SRAM", "ptag SRAM"});
+    report::ReportTable &table = rep.table(
+        "conventional_wp", {"ways", "rand acc", "mru acc", "ptag acc",
+                            "rand SRAM", "mru SRAM", "ptag SRAM"});
     for (unsigned ways : {2u, 4u, 8u}) {
         table.row()
             .cell(std::to_string(ways) + "-way")
@@ -81,8 +83,5 @@ main(int argc, char **argv)
             .cell(humanBytes(fullScaleStorageBytes("mru", ways)))
             .cell(humanBytes(fullScaleStorageBytes("ptag", ways)));
     }
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -29,9 +29,10 @@ pwsConfig(const std::string &workload, double pip, const Config &cli)
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table V: PWS sensitivity to PIP",
         "Table V (hit rate / WP accuracy / speedup vs PIP)");
+    const Config &cli = rep.cli();
 
     const auto workloads = trace::mainWorkloadNames();
 
@@ -43,7 +44,8 @@ main(int argc, char **argv)
         baselines.push_back(sim::runSystem(base));
     }
 
-    TextTable table({"organization", "hit-rate", "wp-acc", "speedup"});
+    report::ReportTable &table = rep.table(
+        "pws_pip", {"organization", "hit-rate", "wp-acc", "speedup"});
     for (const double pip : {0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 1.00}) {
         std::vector<double> hits, accs, speedups;
         for (std::size_t w = 0; w < workloads.size(); ++w) {
@@ -74,8 +76,5 @@ main(int argc, char **argv)
             .percent(amean(accs))
             .cell(geomean(speedups), 3);
     }
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -14,7 +14,7 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table VI: hit rate under way steering",
         "Table VI (DM / 2-way random / PWS / GWS / PWS+GWS hit rate)");
 
@@ -24,17 +24,16 @@ main(int argc, char **argv)
                             "2-way GWS", "2-way PWS+GWS"};
 
     const bench::FunctionalSweep sweep(trace::mainWorkloadNames(),
-                                       configs, cli);
+                                       configs, rep.cli());
 
-    TextTable table({"organization", "hit-rate (amean)"});
+    report::ReportTable &table =
+        rep.table("hit_rate", {"organization", "hit-rate (amean)"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
         const std::vector<double> hits = sweep.column(
             configs[c],
             [](const sim::SystemMetrics &m) { return m.hitRate; });
         table.row().cell(labels[c]).percent(amean(hits));
     }
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    sweep.record(rep);
+    return rep.finish();
 }

@@ -15,7 +15,7 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table VII: hit rate of ACCORD designs",
         "Table VII (DM / ACCORD 2-way / SWS(4,2) / SWS(8,2) / 8-way)");
 
@@ -26,10 +26,11 @@ main(int argc, char **argv)
                             "SWS(4,2)", "SWS(8,2)", "8-way"};
 
     const bench::FunctionalSweep sweep(trace::mainWorkloadNames(),
-                                       configs, cli);
+                                       configs, rep.cli());
 
-    TextTable table({"organization", "hit-rate (amean)",
-                     "miss-confirm probes"});
+    report::ReportTable &table = rep.table(
+        "sws_hit_rate", {"organization", "hit-rate (amean)",
+                         "miss-confirm probes"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
         std::vector<double> hits;
         double probes = 0.0;
@@ -43,8 +44,5 @@ main(int argc, char **argv)
             .percent(amean(hits))
             .cell(probes / 21.0, 1);
     }
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -15,11 +15,13 @@ using namespace accord;
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table VIII: sensitivity to cache size",
         "Table VIII (ACCORD SWS(8,2) speedup vs 1/2/4/8 GB cache)");
+    const Config &cli = rep.cli();
 
-    TextTable table({"cache size", "accord speedup (gmean)"});
+    report::ReportTable &table = rep.table(
+        "cache_size", {"cache size", "accord speedup (gmean)"});
     for (const std::uint64_t gb : {1ULL, 2ULL, 4ULL, 8ULL}) {
         std::vector<double> speedups;
         for (const auto &workload : trace::mainWorkloadNames()) {
@@ -39,8 +41,5 @@ main(int argc, char **argv)
             .cell(std::to_string(gb) + ".0GB")
             .cell(geomean(speedups), 3);
     }
-    table.print();
-
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

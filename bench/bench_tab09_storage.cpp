@@ -30,11 +30,12 @@ storageBytes(const std::string &spec, unsigned ways)
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table IX: ACCORD storage requirements",
         "Table IX (SRAM bytes per ACCORD component, 4GB cache)");
 
-    TextTable table({"component", "storage (bytes)", "paper"});
+    report::ReportTable &table = rep.table(
+        "storage", {"component", "storage (bytes)", "paper"});
     table.row()
         .cell("Probabilistic Way-Steering")
         .cell(storageBytes("pws", 2))
@@ -55,16 +56,11 @@ main(int argc, char **argv)
         .cell("ACCORD SWS(8,2)+GWS")
         .cell(storageBytes("sws+gws", 8))
         .cell("~320");
-    table.print();
-
-    std::printf("\nFor contrast (Table II predictors on the same "
-                "cache):\n");
-    TextTable contrast({"predictor", "storage"});
+    report::ReportTable &contrast = rep.table(
+        "predictor_storage_contrast", {"predictor", "storage"});
     contrast.row().cell("MRU (2-way)").cell(storageBytes("mru", 2));
     contrast.row().cell("partial-tag 4b (2-way)")
         .cell(storageBytes("ptag", 2));
-    contrast.print();
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

@@ -32,11 +32,13 @@ meanAccuracy(const std::string &config_name, const Config &cli)
 int
 main(int argc, char **argv)
 {
-    const Config cli = bench::setup(
+    report::Reporter rep(
         argc, argv, "Table X: way-predictor comparison",
         "Table X (CA-cache / MRU / Partial-Tag / ACCORD accuracy)");
+    const Config &cli = rep.cli();
 
-    TextTable table({"ways", "ca-cache", "mru", "ptag", "accord"});
+    report::ReportTable &table = rep.table(
+        "wp_comparison", {"ways", "ca-cache", "mru", "ptag", "accord"});
 
     const double ca2 = meanAccuracy("ca", cli);
     for (unsigned ways : {2u, 4u, 8u}) {
@@ -53,12 +55,10 @@ main(int argc, char **argv)
             .percent(meanAccuracy(w + "way-ptag", cli))
             .percent(meanAccuracy(accord, cli));
     }
-    table.print();
-    std::printf("\nCA-cache first-probe hit rate (2-way equivalent): "
-                "%.1f%%\n", ca2 * 100.0);
-    std::printf("Storage (4GB cache): CA 0MB, MRU 4MB, partial-tag "
-                "32MB, ACCORD 320 bytes (see bench_tab09).\n");
+    rep.note("CA-cache first-probe hit rate (2-way equivalent): "
+             "%.1f%%", ca2 * 100.0);
+    rep.note("Storage (4GB cache): CA 0MB, MRU 4MB, partial-tag 32MB, "
+             "ACCORD 320 bytes (see bench_tab09).");
 
-    cli.checkConsumed();
-    return 0;
+    return rep.finish();
 }

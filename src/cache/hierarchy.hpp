@@ -66,6 +66,19 @@ class Hierarchy
     /** L3 misses per demand access so far. */
     double l3MissRate() const { return 1.0 - l3_.hitRatio().rate(); }
 
+    /** Register all three levels under `prefix`.l1/.l2/.l3. */
+    void
+    registerMetrics(MetricRegistry &registry,
+                    const std::string &prefix) const
+    {
+        l1_.registerMetrics(registry,
+                            MetricRegistry::join(prefix, "l1"));
+        l2_.registerMetrics(registry,
+                            MetricRegistry::join(prefix, "l2"));
+        l3_.registerMetrics(registry,
+                            MetricRegistry::join(prefix, "l3"));
+    }
+
   private:
     SramCache l1_;
     SramCache l2_;

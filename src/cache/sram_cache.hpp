@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cache/replacement.hpp"
+#include "common/metrics/registry.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -96,6 +97,15 @@ class SramCache
     const SramCacheParams &params() const { return params_; }
     const Ratio &hitRatio() const { return hits_; }
     std::uint64_t numSets() const { return num_sets; }
+
+    /** Register the hit ratio under `prefix` ("core0.l1.lookup.*"). */
+    void
+    registerMetrics(MetricRegistry &registry,
+                    const std::string &prefix) const
+    {
+        registry.addRatio(MetricRegistry::join(prefix, "lookup"),
+                          hits_);
+    }
 
   private:
     struct Line

@@ -1,0 +1,184 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+std::string
+canonicalNumber(double value)
+{
+    if (value == 0.0)
+        return "0";
+    if (std::isnan(value))
+        return "null";
+    if (std::isinf(value))
+        return value > 0 ? "1e999" : "-1e999";
+
+    char buf[40];
+    if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.12g", value);
+    }
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::element()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!has_elements_.empty()) {
+        if (has_elements_.back())
+            out_ += ',';
+        has_elements_.back() = true;
+        out_ += '\n';
+        out_.append(2 * has_elements_.size(), ' ');
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    element();
+    out_ += '{';
+    has_elements_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    ACCORD_ASSERT(!has_elements_.empty() && !after_key_,
+                  "endObject with no open scope");
+    const bool any = has_elements_.back();
+    has_elements_.pop_back();
+    if (any) {
+        out_ += '\n';
+        out_.append(2 * has_elements_.size(), ' ');
+    }
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    element();
+    out_ += '[';
+    has_elements_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    ACCORD_ASSERT(!has_elements_.empty() && !after_key_,
+                  "endArray with no open scope");
+    const bool any = has_elements_.back();
+    has_elements_.pop_back();
+    if (any) {
+        out_ += '\n';
+        out_.append(2 * has_elements_.size(), ' ');
+    }
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    ACCORD_ASSERT(!has_elements_.empty() && !after_key_,
+                  "key() outside an object");
+    element();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\": ";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    element();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    element();
+    out_ += canonicalNumber(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    element();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    element();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    element();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    ACCORD_ASSERT(has_elements_.empty() && !after_key_,
+                  "str() on an unfinished JSON document");
+    return out_;
+}
+
+} // namespace accord

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal canonical JSON emitter for machine-readable run reports.
+ *
+ * The writer produces deterministic output: object keys are emitted in
+ * the order the caller supplies them (report code iterates sorted
+ * containers), numbers use one canonical formatting (canonicalNumber),
+ * and indentation is fixed.  Two reports built from bit-identical data
+ * therefore serialize to byte-identical text, which is what the
+ * report-diff regression gate and the jobs= stability tests rely on.
+ */
+
+#ifndef ACCORD_COMMON_JSON_HPP
+#define ACCORD_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accord
+{
+
+/**
+ * Canonical decimal rendering of a double: integral values print
+ * without exponent or trailing ".0" ("42"), everything else uses
+ * %.12g.  Negative zero normalizes to "0" so bitwise quirks cannot
+ * leak into report bytes.
+ */
+std::string canonicalNumber(double value);
+
+/** JSON string escaping (control characters, quotes, backslash). */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Streaming JSON writer with two-space indentation.  The caller is
+ * responsible for well-formedness (the writer asserts on obvious
+ * misuse such as closing an unopened scope).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or scope. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text) { return value(std::string(text)); }
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number) { return value(std::int64_t{number}); }
+    JsonWriter &value(unsigned number)
+        { return value(std::uint64_t{number}); }
+    JsonWriter &value(bool flag);
+
+    /** Finished document (writer must be back at depth zero). */
+    const std::string &str() const;
+
+  private:
+    /** Comma/newline/indent bookkeeping before any new element. */
+    void element();
+
+    std::string out_;
+    std::vector<bool> has_elements_;
+    bool after_key_ = false;
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_JSON_HPP

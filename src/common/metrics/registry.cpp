@@ -1,0 +1,276 @@
+#include "common/metrics/registry.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+namespace
+{
+
+/** Lowercase [a-z0-9_] segments joined by single dots. */
+bool
+validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (const char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+            || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+// --- MetricSnapshot --------------------------------------------------
+
+MetricSnapshot::MetricSnapshot(
+    std::vector<std::pair<std::string, double>> values)
+    : values_(std::move(values))
+{
+    ACCORD_ASSERT(std::is_sorted(values_.begin(), values_.end(),
+                                 [](const auto &a, const auto &b) {
+                                     return a.first < b.first;
+                                 }),
+                  "snapshot values must be sorted by path");
+}
+
+const double *
+MetricSnapshot::find(const std::string &path) const
+{
+    const auto it = std::lower_bound(
+        values_.begin(), values_.end(), path,
+        [](const auto &entry, const std::string &key) {
+            return entry.first < key;
+        });
+    if (it == values_.end() || it->first != path)
+        return nullptr;
+    return &it->second;
+}
+
+double
+MetricSnapshot::at(const std::string &path) const
+{
+    const double *value = find(path);
+    if (value == nullptr)
+        fatal("unknown metric path '%s'", path.c_str());
+    return *value;
+}
+
+// --- MetricSeries ----------------------------------------------------
+
+void
+MetricSeries::record(std::uint64_t position,
+                     const MetricSnapshot &snapshot)
+{
+    if (paths_.empty() && samples_.empty()) {
+        paths_.reserve(snapshot.size());
+        for (const auto &[path, value] : snapshot.values())
+            paths_.push_back(path);
+    } else {
+        ACCORD_ASSERT(snapshot.size() == paths_.size(),
+                      "epoch snapshot path set changed mid-series");
+        ACCORD_ASSERT(positions_.empty()
+                          || position > positions_.back(),
+                      "epoch positions must strictly increase");
+    }
+    positions_.push_back(position);
+    std::vector<double> sample;
+    sample.reserve(snapshot.size());
+    for (const auto &[path, value] : snapshot.values())
+        sample.push_back(value);
+    samples_.push_back(std::move(sample));
+}
+
+double
+MetricSeries::value(std::size_t epoch, const std::string &path) const
+{
+    ACCORD_ASSERT(epoch < samples_.size(), "epoch index out of range");
+    const auto it =
+        std::lower_bound(paths_.begin(), paths_.end(), path);
+    if (it == paths_.end() || *it != path)
+        fatal("unknown series path '%s'", path.c_str());
+    return samples_[epoch]
+                   [static_cast<std::size_t>(it - paths_.begin())];
+}
+
+// --- MetricRegistry --------------------------------------------------
+
+std::string
+MetricRegistry::join(const std::string &prefix, const std::string &name)
+{
+    if (prefix.empty())
+        return name;
+    if (name.empty())
+        return prefix;
+    return prefix + "." + name;
+}
+
+void
+MetricRegistry::claimBase(const std::string &path)
+{
+    if (!validPath(path))
+        fatal("invalid metric path '%s' (want lowercase [a-z0-9_] "
+              "segments joined by dots)",
+              path.c_str());
+    if (!bases_.insert(path).second)
+        fatal("duplicate metric registration for path '%s'",
+              path.c_str());
+}
+
+void
+MetricRegistry::addLeaf(const std::string &path, LeafEntry entry)
+{
+    if (!leaves_.emplace(path, std::move(entry)).second)
+        fatal("metric leaf path collision at '%s'", path.c_str());
+}
+
+void
+MetricRegistry::addCounter(const std::string &path,
+                           const Counter &counter)
+{
+    claimBase(path);
+    addLeaf(path, {Leaf::CounterValue, &counter, nullptr});
+}
+
+void
+MetricRegistry::addRatio(const std::string &path, const Ratio &ratio)
+{
+    claimBase(path);
+    addLeaf(path + ".hits", {Leaf::RatioHits, &ratio, nullptr});
+    addLeaf(path + ".total", {Leaf::RatioTotal, &ratio, nullptr});
+    addLeaf(path + ".hit_rate", {Leaf::RatioRate, &ratio, nullptr});
+}
+
+void
+MetricRegistry::addAverage(const std::string &path,
+                           const Average &average)
+{
+    claimBase(path);
+    addLeaf(path + ".count", {Leaf::AverageCount, &average, nullptr});
+    addLeaf(path + ".mean", {Leaf::AverageMean, &average, nullptr});
+    addLeaf(path + ".min", {Leaf::AverageMin, &average, nullptr});
+    addLeaf(path + ".max", {Leaf::AverageMax, &average, nullptr});
+}
+
+void
+MetricRegistry::addHistogram(const std::string &path,
+                             const Histogram &histogram)
+{
+    claimBase(path);
+    addLeaf(path + ".count", {Leaf::HistCount, &histogram, nullptr});
+    addLeaf(path + ".mean", {Leaf::HistMean, &histogram, nullptr});
+    addLeaf(path + ".p50", {Leaf::HistP50, &histogram, nullptr});
+    addLeaf(path + ".p95", {Leaf::HistP95, &histogram, nullptr});
+}
+
+void
+MetricRegistry::addValue(const std::string &path,
+                         const std::uint64_t &value)
+{
+    claimBase(path);
+    addLeaf(path, {Leaf::RawValue, &value, nullptr});
+}
+
+void
+MetricRegistry::addGauge(const std::string &path, Gauge gauge)
+{
+    ACCORD_ASSERT(gauge != nullptr, "null gauge for '%s'",
+                  path.c_str());
+    claimBase(path);
+    addLeaf(path, {Leaf::GaugeFn, nullptr, std::move(gauge)});
+}
+
+bool
+MetricRegistry::has(const std::string &path) const
+{
+    return bases_.count(path) > 0;
+}
+
+std::vector<std::string>
+MetricRegistry::leafPaths() const
+{
+    std::vector<std::string> paths;
+    paths.reserve(leaves_.size());
+    for (const auto &[path, entry] : leaves_)
+        paths.push_back(path);
+    return paths;
+}
+
+double
+MetricRegistry::sampleLeaf(const LeafEntry &entry)
+{
+    switch (entry.kind) {
+    case Leaf::CounterValue:
+        return static_cast<double>(
+            static_cast<const Counter *>(entry.ptr)->value());
+    case Leaf::RatioHits:
+        return static_cast<double>(
+            static_cast<const Ratio *>(entry.ptr)->hits());
+    case Leaf::RatioTotal:
+        return static_cast<double>(
+            static_cast<const Ratio *>(entry.ptr)->total());
+    case Leaf::RatioRate:
+        return static_cast<const Ratio *>(entry.ptr)->rate();
+    case Leaf::AverageCount:
+        return static_cast<double>(
+            static_cast<const Average *>(entry.ptr)->count());
+    case Leaf::AverageMean:
+        return static_cast<const Average *>(entry.ptr)->mean();
+    case Leaf::AverageMin:
+        return static_cast<const Average *>(entry.ptr)->min();
+    case Leaf::AverageMax:
+        return static_cast<const Average *>(entry.ptr)->max();
+    case Leaf::HistCount:
+        return static_cast<double>(
+            static_cast<const Histogram *>(entry.ptr)->count());
+    case Leaf::HistMean:
+        return static_cast<const Histogram *>(entry.ptr)->mean();
+    case Leaf::HistP50:
+        return static_cast<double>(
+            static_cast<const Histogram *>(entry.ptr)->percentile(0.50));
+    case Leaf::HistP95:
+        return static_cast<double>(
+            static_cast<const Histogram *>(entry.ptr)->percentile(0.95));
+    case Leaf::RawValue:
+        return static_cast<double>(
+            *static_cast<const std::uint64_t *>(entry.ptr));
+    case Leaf::GaugeFn:
+        return entry.gauge();
+    }
+    panic("unreachable metric leaf kind");
+}
+
+double
+MetricRegistry::sample(const std::string &leaf_path) const
+{
+    const auto it = leaves_.find(leaf_path);
+    if (it == leaves_.end())
+        fatal("unknown metric path '%s'", leaf_path.c_str());
+    return sampleLeaf(it->second);
+}
+
+MetricSnapshot
+MetricRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> values;
+    values.reserve(leaves_.size());
+    for (const auto &[path, entry] : leaves_)
+        values.emplace_back(path, sampleLeaf(entry));
+    return MetricSnapshot(std::move(values));
+}
+
+} // namespace accord

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Hierarchical metric registry: the observability backbone.
+ *
+ * Components keep owning their hot-path Counter/Ratio/Average/Histogram
+ * members (common/stats.hpp) and, at construction, register them into a
+ * MetricRegistry under dotted paths ("l4.lookup", "dram.ch0.row_buffer").
+ * Registration stores a pointer; nothing touches the registry on the
+ * hot path.  Sampling happens only at dump time: snapshot() reads every
+ * registered metric into a flat, sorted path -> value map.
+ *
+ * Composite metrics expand into scalar leaves at registration:
+ *
+ *   Counter   p            -> p
+ *   Ratio     p            -> p.hits, p.total, p.hit_rate
+ *   Average   p            -> p.count, p.mean, p.min, p.max
+ *   Histogram p            -> p.count, p.mean, p.p50, p.p95
+ *   raw uint64 / gauge fn  -> p
+ *
+ * Paths are lowercase [a-z0-9_] segments joined by '.'; duplicate or
+ * malformed registrations are user errors and fatal() immediately, so
+ * naming collisions surface at construction, not in a report diff.
+ */
+
+#ifndef ACCORD_COMMON_METRICS_REGISTRY_HPP
+#define ACCORD_COMMON_METRICS_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace accord
+{
+
+/** Flat, sorted sample of a registry at one instant. */
+class MetricSnapshot
+{
+  public:
+    MetricSnapshot() = default;
+
+    /** Sorted (path, value) pairs; construction enforces order. */
+    explicit MetricSnapshot(
+        std::vector<std::pair<std::string, double>> values);
+
+    bool empty() const { return values_.size() == 0; }
+    std::size_t size() const { return values_.size(); }
+
+    /** Pointer to the value at `path`, or nullptr if unknown. */
+    const double *find(const std::string &path) const;
+
+    /** Value at `path`; fatal() if the path is unknown. */
+    double at(const std::string &path) const;
+
+    const std::vector<std::pair<std::string, double>> &values() const
+        { return values_; }
+
+  private:
+    std::vector<std::pair<std::string, double>> values_;
+};
+
+/**
+ * Epoch time-series of snapshots taken at monotonically increasing
+ * stream positions (e.g. demand reads completed).  The path set is
+ * fixed by the first recorded snapshot; later snapshots must match,
+ * and positions must strictly increase — violations are simulator
+ * bugs and fatal().
+ */
+class MetricSeries
+{
+  public:
+    /** Record one epoch sample at `position` units into the run. */
+    void record(std::uint64_t position, const MetricSnapshot &snapshot);
+
+    bool empty() const { return positions_.size() == 0; }
+    std::size_t size() const { return positions_.size(); }
+
+    const std::vector<std::string> &paths() const { return paths_; }
+    const std::vector<std::uint64_t> &positions() const
+        { return positions_; }
+    const std::vector<std::vector<double>> &samples() const
+        { return samples_; }
+
+    /** Value of `path` at epoch index `epoch`; fatal() if unknown. */
+    double value(std::size_t epoch, const std::string &path) const;
+
+  private:
+    std::vector<std::string> paths_;
+    std::vector<std::uint64_t> positions_;
+    std::vector<std::vector<double>> samples_;
+};
+
+/** Hierarchical registry of component-owned metrics. */
+class MetricRegistry
+{
+  public:
+    using Gauge = std::function<double()>;
+
+    MetricRegistry() = default;
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Register a Counter at `path`. */
+    void addCounter(const std::string &path, const Counter &counter);
+
+    /** Register a Ratio; expands to .hits/.total/.hit_rate. */
+    void addRatio(const std::string &path, const Ratio &ratio);
+
+    /** Register an Average; expands to .count/.mean/.min/.max. */
+    void addAverage(const std::string &path, const Average &average);
+
+    /** Register a Histogram; expands to .count/.mean/.p50/.p95. */
+    void addHistogram(const std::string &path,
+                      const Histogram &histogram);
+
+    /** Register a raw unsigned event count. */
+    void addValue(const std::string &path, const std::uint64_t &value);
+
+    /** Register a derived metric sampled through a callback. */
+    void addGauge(const std::string &path, Gauge gauge);
+
+    /** True if `path` was registered (base path, not expanded leaf). */
+    bool has(const std::string &path) const;
+
+    /** Number of registered base metrics. */
+    std::size_t size() const { return bases_.size(); }
+
+    /** All scalar leaf paths, sorted. */
+    std::vector<std::string> leafPaths() const;
+
+    /** Sample one leaf path; fatal() if unknown. */
+    double sample(const std::string &leaf_path) const;
+
+    /** Sample every metric into a sorted snapshot. */
+    MetricSnapshot snapshot() const;
+
+    /** Join a prefix and a metric name ("l4" + "lookup"). */
+    static std::string join(const std::string &prefix,
+                            const std::string &name);
+
+  private:
+    enum class Leaf
+    {
+        CounterValue,
+        RatioHits,
+        RatioTotal,
+        RatioRate,
+        AverageCount,
+        AverageMean,
+        AverageMin,
+        AverageMax,
+        HistCount,
+        HistMean,
+        HistP50,
+        HistP95,
+        RawValue,
+        GaugeFn,
+    };
+
+    struct LeafEntry
+    {
+        Leaf kind;
+        const void *ptr = nullptr;
+        Gauge gauge;
+    };
+
+    /** Validate a base path and claim it; fatal() on reuse. */
+    void claimBase(const std::string &path);
+
+    /** Register one expanded leaf; fatal() on collision. */
+    void addLeaf(const std::string &path, LeafEntry entry);
+
+    static double sampleLeaf(const LeafEntry &entry);
+
+    std::set<std::string> bases_;
+    std::map<std::string, LeafEntry> leaves_;
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_METRICS_REGISTRY_HPP

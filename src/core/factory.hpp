@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/way_policy.hpp"
 
@@ -34,6 +35,21 @@ struct PolicyOptions
 
     /** RNG seed for the policy's private stream. */
     std::uint64_t seed = 42;
+
+    /**
+     * Canonical one-line rendering, e.g.
+     * "pip=0.85,k=2,gws=64,ptag=4,seed=42".  Every knob always
+     * appears, in this fixed order, so equal options produce equal
+     * strings and reports fully identify their configuration.
+     */
+    std::string toString() const;
+
+    /**
+     * Inverse of toString().  Accepts any subset of the knobs in any
+     * order ("pip=0.9,seed=3"); unset knobs keep their defaults.
+     * fatal() on unknown keys or malformed values.
+     */
+    static PolicyOptions fromString(const std::string &text);
 };
 
 /**
@@ -41,11 +57,29 @@ struct PolicyOptions
  *
  * Recognized specs: "rand", "pws", "gws", "pws+gws" (2-way ACCORD),
  * "sws", "sws+gws" (high-associativity ACCORD), "mru", "ptag",
- * "perfect".
+ * "perfect".  A spec may embed options in parentheses —
+ * "pws+gws(pip=0.9,gws=128)" — which override `options`.
  */
 std::unique_ptr<WayPolicy>
 makePolicy(const std::string &spec, const CacheGeometry &geom,
            const PolicyOptions &options = {});
+
+/**
+ * Canonical "name(options)" spec: the bare policy name plus the full
+ * PolicyOptions::toString() rendering, e.g.
+ * "pws+gws(pip=0.85,k=2,gws=64,ptag=4,seed=42)".  Round-trips through
+ * parseSpec()/makePolicy() and is what RunReport embeds.
+ */
+std::string canonicalSpec(const std::string &spec,
+                          const PolicyOptions &options = {});
+
+/**
+ * Split a spec into its bare name and options: "pws+gws(pip=0.9)"
+ * applies pip=0.9 on top of `base`; a bare "pws+gws" returns `base`
+ * unchanged.
+ */
+std::pair<std::string, PolicyOptions>
+parseSpec(const std::string &spec, const PolicyOptions &base = {});
 
 } // namespace accord::core
 

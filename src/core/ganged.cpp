@@ -3,6 +3,7 @@
 #include "common/bits.hpp"
 #include "common/invariant_auditor.hpp"
 #include "common/log.hpp"
+#include "common/metrics/registry.hpp"
 
 namespace accord::core
 {
@@ -211,6 +212,20 @@ GangedPolicy::rltCoverage() const
         ? 0.0
         : static_cast<double>(rlt_hits)
             / static_cast<double>(predictions);
+}
+
+void
+GangedPolicy::registerMetrics(MetricRegistry &registry,
+                              const std::string &prefix) const
+{
+    registry.addValue(MetricRegistry::join(prefix, "rlt_hits"),
+                      rlt_hits);
+    registry.addValue(MetricRegistry::join(prefix, "predictions"),
+                      predictions);
+    registry.addGauge(MetricRegistry::join(prefix, "rlt_coverage"),
+                      [this] { return rltCoverage(); });
+    base_->registerMetrics(registry,
+                           MetricRegistry::join(prefix, "base"));
 }
 
 } // namespace accord::core

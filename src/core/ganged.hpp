@@ -102,6 +102,8 @@ class GangedPolicy : public WayPolicy
     std::uint64_t storageBits() const override;
     std::string name() const override;
     void audit(InvariantAuditor &auditor) const override;
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const override;
 
     /** Fraction of predictions served by the RLT (for analysis). */
     double rltCoverage() const;

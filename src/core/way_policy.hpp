@@ -25,6 +25,7 @@
 namespace accord
 {
 class InvariantAuditor;
+class MetricRegistry;
 } // namespace accord
 
 namespace accord::core
@@ -112,6 +113,16 @@ class WayPolicy
      * override.
      */
     virtual void audit(InvariantAuditor &) const {}
+
+    /**
+     * Register internal observables (table hit counts, coverage)
+     * into the metric registry under `prefix`.  Stateless policies
+     * expose nothing; decorators recurse into their base policy.
+     */
+    virtual void registerMetrics(MetricRegistry &,
+                                 const std::string &) const
+    {
+    }
 
     /** Short name for stat dumps ("pws", "pws+gws", ...). */
     virtual std::string name() const = 0;

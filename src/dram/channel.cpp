@@ -156,4 +156,26 @@ Channel::kick()
     // else: idle; the next enqueue() will kick us.
 }
 
+void
+Channel::registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const
+{
+    const auto path = [&prefix](const char *name) {
+        return MetricRegistry::join(prefix, name);
+    };
+    registry.addCounter(path("reads"), stats_.readsServed);
+    registry.addCounter(path("writes"), stats_.writesServed);
+    registry.addCounter(path("row_buffer.hits"), stats_.rowHits);
+    registry.addCounter(path("row_buffer.conflicts"),
+                        stats_.rowConflicts);
+    registry.addCounter(path("bus_busy_cycles"),
+                        stats_.busBusyCycles);
+    registry.addAverage(path("read_latency"), stats_.readLatency);
+    registry.addAverage(path("write_latency"), stats_.writeLatency);
+    registry.addAverage(path("read_queue_depth"),
+                        stats_.readQueueDepth);
+    registry.addAverage(path("write_queue_depth"),
+                        stats_.writeQueueDepth);
+}
+
 } // namespace accord::dram

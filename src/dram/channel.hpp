@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/metrics/registry.hpp"
 #include "common/stats.hpp"
 #include "dram/bank.hpp"
 #include "dram/mem_op.hpp"
@@ -60,7 +62,21 @@ class Channel
     bool idle() const;
 
     const ChannelStats &stats() const { return stats_; }
-    ChannelStats &stats() { return stats_; }
+
+    /** Zero all statistics (e.g. at the warmup/measurement boundary). */
+    void resetStats() { stats_ = ChannelStats{}; }
+
+    /**
+     * Register this channel's statistics under `prefix` (typically
+     * "dram.ch0"): reads, writes, row_buffer.{hits,conflicts},
+     * bus_busy_cycles, and the latency/queue-depth averages.
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /** @deprecated Mutate via resetStats(); read via stats(). */
+    [[deprecated("use stats() for reads and resetStats() to clear")]]
+    ChannelStats &mutableStats() { return stats_; }
 
   private:
     /** Scheduler entry point; issues at most one request. */

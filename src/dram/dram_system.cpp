@@ -96,4 +96,22 @@ DramSystem::aggregateStats() const
     return agg;
 }
 
+void
+DramSystem::resetStats()
+{
+    for (const auto &ch : channels)
+        ch->resetStats();
+}
+
+void
+DramSystem::registerMetrics(MetricRegistry &registry,
+                            const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        channels[i]->registerMetrics(
+            registry,
+            MetricRegistry::join(prefix, "ch" + std::to_string(i)));
+    }
+}
+
 } // namespace accord::dram

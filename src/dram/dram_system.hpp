@@ -66,10 +66,23 @@ class DramSystem
         { return static_cast<unsigned>(channels.size()); }
 
     const Channel &channel(unsigned i) const { return *channels.at(i); }
-    Channel &channel(unsigned i) { return *channels.at(i); }
 
     /** Sum/average stats over all channels. */
     DeviceStats aggregateStats() const;
+
+    /** Zero every channel's statistics. */
+    void resetStats();
+
+    /**
+     * Register every channel's statistics under `prefix` ("dram" ->
+     * "dram.ch0.reads", "dram.ch1.row_buffer.hits", ...).
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /** @deprecated Channels are internal; mutate via resetStats(). */
+    [[deprecated("use channel(i) for reads and resetStats() to clear")]]
+    Channel &mutableChannel(unsigned i) { return *channels.at(i); }
 
   private:
     TimingParams params_;

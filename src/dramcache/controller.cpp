@@ -940,8 +940,47 @@ void
 DramCacheController::resetStats()
 {
     stats_.reset();
-    for (unsigned i = 0; i < hbm_.numChannels(); ++i)
-        hbm_.channel(i).stats() = dram::ChannelStats{};
+    hbm_.resetStats();
+}
+
+void
+DramCacheStats::registerMetrics(MetricRegistry &registry,
+                                const std::string &prefix) const
+{
+    const auto path = [&prefix](const char *name) {
+        return MetricRegistry::join(prefix, name);
+    };
+    registry.addRatio(path("lookup"), readHits);
+    registry.addRatio(path("way_prediction"), wayPrediction);
+    registry.addCounter(path("xfer.cache_reads"), cacheReadTransfers);
+    registry.addCounter(path("xfer.cache_writes"),
+                        cacheWriteTransfers);
+    registry.addCounter(path("nvm_reads"), nvmReads);
+    registry.addCounter(path("nvm_writes"), nvmWrites);
+    registry.addCounter(path("wb.to_cache"), writebacksToCache);
+    registry.addCounter(path("wb.to_nvm"), writebacksToNvm);
+    registry.addCounter(path("wb.probe_transfers"),
+                        writebackProbeTransfers);
+    registry.addCounter(path("wb.dcp_stale"), dcpStaleWritebacks);
+    registry.addCounter(path("ca_swaps"), swaps);
+    registry.addCounter(path("replacement_update_writes"),
+                        replacementUpdateWrites);
+    registry.addAverage(path("probes_per_read"), probesPerRead);
+    registry.addAverage(path("read_hit_latency"), readHitLatency);
+    registry.addAverage(path("read_miss_latency"), readMissLatency);
+    registry.addGauge(path("transfers_per_read"),
+                      [this] { return transfersPerRead(); });
+}
+
+void
+DramCacheController::registerMetrics(MetricRegistry &registry,
+                                     const std::string &prefix) const
+{
+    stats_.registerMetrics(registry, prefix);
+    if (policy_) {
+        policy_->registerMetrics(
+            registry, MetricRegistry::join(prefix, "policy"));
+    }
 }
 
 } // namespace accord::dramcache

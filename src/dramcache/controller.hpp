@@ -37,6 +37,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/invariant_auditor.hpp"
+#include "common/metrics/registry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/way_policy.hpp"
@@ -147,6 +148,14 @@ struct DramCacheStats
     double transfersPerRead() const;
 
     void reset();
+
+    /**
+     * Register every member under `prefix`: lookup + way_prediction
+     * (Ratio), the transfer/writeback counters, the latency/probe
+     * averages, and a transfers_per_read gauge.
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 };
 
 /** The L4 DRAM-cache controller. */
@@ -189,10 +198,24 @@ class DramCacheController
     // --- introspection --------------------------------------------
 
     const DramCacheStats &stats() const { return stats_; }
-    DramCacheStats &stats() { return stats_; }
 
     /** Reset controller stats AND the HBM device channel stats. */
     void resetStats();
+
+    /**
+     * Register controller metrics under `prefix` (typically "l4"):
+     * the lookup/way-prediction ratios, transfer and writeback
+     * counters, latency averages, the transfers-per-read gauge, and
+     * (when a way policy is attached) its internals under
+     * `prefix`.policy.  The HBM device registers separately via
+     * hbm().registerMetrics().
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /** @deprecated Read via stats(); mutation is a controller detail. */
+    [[deprecated("use stats() for reads and resetStats() to clear")]]
+    DramCacheStats &mutableStats() { return stats_; }
 
     const core::CacheGeometry &geometry() const { return geom; }
     const TagStore &tagStore() const { return tags; }

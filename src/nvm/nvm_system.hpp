@@ -61,6 +61,22 @@ class NvmSystem
     std::uint64_t reads() const { return reads_.value(); }
     std::uint64_t writes() const { return writes_.value(); }
 
+    /**
+     * Register device metrics under `prefix` ("nvm"): the line
+     * read/write counters plus every underlying channel's stats
+     * ("nvm.ch0.reads", ...).
+     */
+    void
+    registerMetrics(MetricRegistry &registry,
+                    const std::string &prefix) const
+    {
+        registry.addCounter(MetricRegistry::join(prefix, "reads"),
+                            reads_);
+        registry.addCounter(MetricRegistry::join(prefix, "writes"),
+                            writes_);
+        device.registerMetrics(registry, prefix);
+    }
+
   private:
     dram::DramSystem device;
     Counter reads_;

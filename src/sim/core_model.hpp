@@ -14,8 +14,10 @@
 #define ACCORD_SIM_CORE_MODEL_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "common/event_queue.hpp"
+#include "common/metrics/registry.hpp"
 #include "dramcache/controller.hpp"
 #include "trace/generator.hpp"
 
@@ -63,6 +65,25 @@ class CoreModel
 
     /** Instructions represented by one demand read. */
     double instrPerAccess() const { return 1000.0 / params.mpki; }
+
+    /** Demand reads completed so far (epoch-sampling progress). */
+    std::uint64_t completedReads() const { return completed; }
+
+    /**
+     * Register issue/completion progress under `prefix` ("core0").
+     * ipc() is deliberately not exposed as a gauge: it is only
+     * defined once the core has finished, and epoch snapshots sample
+     * mid-run.
+     */
+    void
+    registerMetrics(MetricRegistry &registry,
+                    const std::string &prefix) const
+    {
+        registry.addValue(MetricRegistry::join(prefix, "issued"),
+                          issued);
+        registry.addValue(MetricRegistry::join(prefix, "completed"),
+                          completed);
+    }
 
     unsigned id() const { return id_; }
 

@@ -1,0 +1,331 @@
+#include "sim/report/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace accord::report
+{
+
+// --- ReportTable -----------------------------------------------------
+
+ReportTable::ReportTable(std::string name,
+                         std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns))
+{
+    ACCORD_ASSERT(!columns_.empty(), "table '%s' needs columns",
+                  name_.c_str());
+}
+
+ReportTable &
+ReportTable::row()
+{
+    ACCORD_ASSERT(rows_.empty() || rows_.back().size() == columns_.size(),
+                  "table '%s': row has %zu cells, want %zu",
+                  name_.c_str(), rows_.back().size(), columns_.size());
+    rows_.emplace_back();
+    return *this;
+}
+
+ReportTable &
+ReportTable::push(Cell cell)
+{
+    ACCORD_ASSERT(!rows_.empty(), "cell before row() in table '%s'",
+                  name_.c_str());
+    ACCORD_ASSERT(rows_.back().size() < columns_.size(),
+                  "table '%s': too many cells in row", name_.c_str());
+    rows_.back().push_back(std::move(cell));
+    return *this;
+}
+
+ReportTable &
+ReportTable::cell(const std::string &text)
+{
+    return push({Cell::Kind::Text, text, 0.0});
+}
+
+ReportTable &
+ReportTable::cell(std::uint64_t value)
+{
+    return push({Cell::Kind::Number, std::to_string(value),
+                 static_cast<double>(value)});
+}
+
+ReportTable &
+ReportTable::cell(std::int64_t value)
+{
+    return push({Cell::Kind::Number, std::to_string(value),
+                 static_cast<double>(value)});
+}
+
+ReportTable &
+ReportTable::cell(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return push({Cell::Kind::Number, buf, value});
+}
+
+ReportTable &
+ReportTable::percent(double fraction, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision,
+                  100.0 * fraction);
+    return push({Cell::Kind::Percent, buf, fraction});
+}
+
+std::string
+ReportTable::renderText() const
+{
+    TextTable text(columns_);
+    for (const auto &cells : rows_) {
+        text.row();
+        for (const auto &cell : cells)
+            text.cell(cell.text);
+    }
+    return text.render();
+}
+
+void
+ReportTable::print() const
+{
+    std::fputs(renderText().c_str(), stdout);
+}
+
+void
+ReportTable::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("columns").beginArray();
+    for (const auto &column : columns_)
+        json.value(column);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (const auto &cells : rows_) {
+        json.beginArray();
+        for (const auto &cell : cells) {
+            if (cell.kind == Cell::Kind::Text)
+                json.value(cell.text);
+            else
+                json.value(cell.number);
+        }
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+ReportTable::writeCsv(std::string &out) const
+{
+    const auto csvField = [](const std::string &field) {
+        if (field.find_first_of(",\"\n") == std::string::npos)
+            return field;
+        std::string quoted = "\"";
+        for (const char c : field) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+
+    out += "# table ";
+    out += name_;
+    out += '\n';
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += csvField(columns_[i]);
+    }
+    out += '\n';
+    for (const auto &cells : rows_) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            if (cells[i].kind == Cell::Kind::Text)
+                out += csvField(cells[i].text);
+            else
+                out += canonicalNumber(cells[i].number);
+        }
+        out += '\n';
+    }
+}
+
+// --- RunReport -------------------------------------------------------
+
+RunReport::RunReport(std::string title, std::string reproduces)
+    : title_(std::move(title)), reproduces_(std::move(reproduces))
+{
+}
+
+void
+RunReport::setParam(const std::string &key, const std::string &value)
+{
+    params_[key] = value;
+}
+
+void
+RunReport::setConfigSpec(const std::string &name,
+                         const std::string &spec)
+{
+    configs_[name] = spec;
+}
+
+void
+RunReport::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+ReportTable &
+RunReport::addTable(const std::string &name,
+                    std::vector<std::string> columns)
+{
+    for (const auto &table : tables_)
+        if (table.name() == name)
+            fatal("duplicate report table '%s'", name.c_str());
+    tables_.emplace_back(name, std::move(columns));
+    return tables_.back();
+}
+
+void
+RunReport::setRunSpec(const std::string &run, const std::string &spec)
+{
+    runs_[run].spec = spec;
+}
+
+void
+RunReport::addRunMetrics(const std::string &run,
+                         const MetricSnapshot &metrics)
+{
+    auto &slot = runs_[run].metrics;
+    for (const auto &[path, value] : metrics.values())
+        slot[path] = value;
+}
+
+void
+RunReport::addRunValue(const std::string &run, const std::string &key,
+                       double value)
+{
+    runs_[run].metrics[key] = value;
+}
+
+void
+RunReport::addRunSeries(const std::string &run,
+                        const MetricSeries &series)
+{
+    runs_[run].epochs = series;
+}
+
+std::string
+RunReport::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("schema").value(kReportSchema);
+    json.key("title").value(title_);
+    json.key("reproduces").value(reproduces_);
+
+    json.key("params").beginObject();
+    for (const auto &[key, value] : params_)
+        json.key(key).value(value);
+    json.endObject();
+
+    json.key("configs").beginObject();
+    for (const auto &[name, spec] : configs_)
+        json.key(name).value(spec);
+    json.endObject();
+
+    json.key("notes").beginArray();
+    for (const auto &note : notes_)
+        json.value(note);
+    json.endArray();
+
+    json.key("tables").beginObject();
+    for (const auto &table : tables_) {
+        json.key(table.name());
+        table.writeJson(json);
+    }
+    json.endObject();
+
+    json.key("runs").beginObject();
+    for (const auto &[name, run] : runs_) {
+        json.key(name).beginObject();
+        json.key("spec").value(run.spec);
+        json.key("metrics").beginObject();
+        for (const auto &[path, value] : run.metrics)
+            json.key(path).value(value);
+        json.endObject();
+        if (!run.epochs.empty()) {
+            json.key("epochs").beginObject();
+            json.key("positions").beginArray();
+            for (const std::uint64_t position : run.epochs.positions())
+                json.value(position);
+            json.endArray();
+            json.key("paths").beginArray();
+            for (const auto &path : run.epochs.paths())
+                json.value(path);
+            json.endArray();
+            json.key("samples").beginArray();
+            for (const auto &sample : run.epochs.samples()) {
+                json.beginArray();
+                for (const double value : sample)
+                    json.value(value);
+                json.endArray();
+            }
+            json.endArray();
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endObject();
+
+    json.endObject();
+    return json.str() + "\n";
+}
+
+std::string
+RunReport::toCsv() const
+{
+    std::string out;
+    out += "# ";
+    out += title_;
+    out += '\n';
+    for (const auto &table : tables_) {
+        out += '\n';
+        table.writeCsv(out);
+    }
+    return out;
+}
+
+void
+RunReport::writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    file.write(text.data(),
+               static_cast<std::streamsize>(text.size()));
+    file.flush();
+    if (!file)
+        fatal("failed writing report to '%s'", path.c_str());
+}
+
+void
+RunReport::writeJsonFile(const std::string &path) const
+{
+    writeFile(path, toJson());
+}
+
+void
+RunReport::writeCsvFile(const std::string &path) const
+{
+    writeFile(path, toCsv());
+}
+
+} // namespace accord::report

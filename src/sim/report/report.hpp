@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport captures everything one bench invocation produced: the
+ * run parameters, the canonical config specs it exercised, every table
+ * it printed (cell-for-cell, so the human-readable output can never
+ * drift from the machine-readable one), free-form notes, and per-run
+ * final metric snapshots plus optional epoch time-series.
+ *
+ * Serialization is canonical and deterministic: sorted maps, one
+ * number formatting, fixed indentation.  Re-running a bench with any
+ * jobs= value yields byte-identical JSON/CSV, which is what the CI
+ * report-diff gate (tools/compare_reports.py) builds on.
+ */
+
+#ifndef ACCORD_SIM_REPORT_REPORT_HPP
+#define ACCORD_SIM_REPORT_REPORT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics/registry.hpp"
+
+namespace accord::report
+{
+
+/** Identifies the JSON layout; bump on incompatible changes. */
+inline constexpr const char *kReportSchema = "accord.run_report/1";
+
+/**
+ * A table that renders as aligned text AND serializes its cells into
+ * the run report.  The cell/row chain mirrors TextTable so benches
+ * port mechanically; numeric cells remember their raw value, so the
+ * JSON carries full precision while the text keeps the paper's
+ * formatting.
+ */
+class ReportTable
+{
+  public:
+    ReportTable(std::string name, std::vector<std::string> columns);
+
+    /** Start a new row. */
+    ReportTable &row();
+
+    /** Append a text cell. */
+    ReportTable &cell(const std::string &text);
+    ReportTable &cell(const char *text)
+        { return cell(std::string(text)); }
+
+    /** Append an integer cell. */
+    ReportTable &cell(std::uint64_t value);
+    ReportTable &cell(std::int64_t value);
+    ReportTable &cell(int value) { return cell(std::int64_t{value}); }
+    ReportTable &cell(unsigned value)
+        { return cell(std::uint64_t{value}); }
+
+    /** Append a floating-point cell with fixed text precision. */
+    ReportTable &cell(double value, int precision = 3);
+
+    /** Append a percentage cell ("74.2%"); stores the raw fraction. */
+    ReportTable &percent(double fraction, int precision = 1);
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::string> &columns() const { return columns_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render the aligned-text form (header + separator + rows). */
+    std::string renderText() const;
+
+    /** Render to stdout — the sanctioned way benches print metrics. */
+    void print() const;
+
+    void writeJson(JsonWriter &json) const;
+
+    /** Append this table's CSV block ("# table <name>" + rows). */
+    void writeCsv(std::string &out) const;
+
+  private:
+    struct Cell
+    {
+        enum class Kind
+        {
+            Text,
+            Number,
+            Percent,
+        };
+
+        Kind kind = Kind::Text;
+        std::string text;
+        double number = 0.0;
+    };
+
+    ReportTable &push(Cell cell);
+
+    std::string name_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<Cell>> rows_;
+};
+
+/** Everything one bench invocation reports. */
+class RunReport
+{
+  public:
+    RunReport(std::string title, std::string reproduces);
+
+    /** Record a run parameter (scale, seed, ...). */
+    void setParam(const std::string &key, const std::string &value);
+
+    /** Record the canonical spec of a named configuration. */
+    void setConfigSpec(const std::string &name, const std::string &spec);
+
+    /** Append a free-form note (also part of the serialized report). */
+    void addNote(std::string note);
+
+    /**
+     * Create a table.  The reference stays valid for the report's
+     * lifetime; names must be unique within the report.
+     */
+    ReportTable &addTable(const std::string &name,
+                          std::vector<std::string> columns);
+
+    /** Record one run's canonical config spec. */
+    void setRunSpec(const std::string &run, const std::string &spec);
+
+    /** Record one run's final metric snapshot. */
+    void addRunMetrics(const std::string &run,
+                       const MetricSnapshot &metrics);
+
+    /** Add/overwrite a single derived value (e.g. "speedup"). */
+    void addRunValue(const std::string &run, const std::string &key,
+                     double value);
+
+    /** Record one run's epoch time-series. */
+    void addRunSeries(const std::string &run,
+                      const MetricSeries &series);
+
+    const std::string &title() const { return title_; }
+
+    /** Canonical JSON document (ends in a newline). */
+    std::string toJson() const;
+
+    /** Canonical CSV rendering of the tables. */
+    std::string toCsv() const;
+
+    /** Write toJson()/toCsv() to a file; fatal() on I/O failure. */
+    void writeJsonFile(const std::string &path) const;
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    struct Run
+    {
+        std::string spec;
+        std::map<std::string, double> metrics;
+        MetricSeries epochs;
+    };
+
+    static void writeFile(const std::string &path,
+                          const std::string &text);
+
+    std::string title_;
+    std::string reproduces_;
+    std::map<std::string, std::string> params_;
+    std::map<std::string, std::string> configs_;
+    std::vector<std::string> notes_;
+    std::deque<ReportTable> tables_;
+    std::map<std::string, Run> runs_;
+};
+
+} // namespace accord::report
+
+#endif // ACCORD_SIM_REPORT_REPORT_HPP

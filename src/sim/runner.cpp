@@ -45,6 +45,59 @@ applyCliOverrides(SystemConfig &config, const Config &cli)
     config.mlp = static_cast<unsigned>(cli.getUint("mlp", config.mlp));
     config.jobs =
         static_cast<unsigned>(cli.getUint("jobs", config.jobs));
+    config.epochEvery = cli.getUint("epoch", config.epochEvery);
+}
+
+std::string
+canonicalConfigSpec(const SystemConfig &config)
+{
+    const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+
+    std::string spec;
+    spec += "workload=" + config.workload;
+    spec += " cores=" + u64(config.numCores);
+    spec += " scale=" + u64(config.scale);
+    spec += " cache_bytes=" + u64(config.cacheBytes());
+    spec += " ways=" + u64(config.ways);
+    spec += std::string(" org=")
+        + (config.org == dramcache::Organization::ColumnAssoc
+               ? "ca" : "set_assoc");
+    switch (config.lookup) {
+    case dramcache::LookupMode::Serial: spec += " lookup=serial"; break;
+    case dramcache::LookupMode::Parallel:
+        spec += " lookup=parallel";
+        break;
+    case dramcache::LookupMode::Predicted:
+        spec += " lookup=predicted";
+        break;
+    case dramcache::LookupMode::Ideal: spec += " lookup=ideal"; break;
+    }
+    spec += std::string(" dcp=") + (config.dcpWayBits ? "1" : "0");
+    spec += std::string(" repl=")
+        + (config.replacement == dramcache::L4Replacement::Lru
+               ? "lru" : "random");
+    spec += std::string(" layout=")
+        + (config.layout == dramcache::LayoutMode::RowCoLocated
+               ? "row_co_located" : "way_striped");
+    spec += std::string(" mem=")
+        + (config.nvmMainMemory ? "nvm" : "ddr");
+    spec += " policy="
+        + (config.policySpec.empty()
+               ? std::string("none")
+               : core::canonicalSpec(config.policySpec,
+                                     config.policyOpts));
+    spec += std::string(" phase=")
+        + (config.runTimed ? "timed" : "functional");
+    spec += " warm=" + u64(config.warmPerCore);
+    spec += " measure=" + u64(config.measurePerCore);
+    spec += " timed=" + u64(config.timedPerCore);
+    spec += " mlp=" + u64(config.mlp);
+    spec += " wb_lag=" + u64(config.wbLag);
+    spec += std::string(" hierarchy=")
+        + (config.fullHierarchy ? "full" : "post_l3");
+    spec += " epoch=" + u64(config.epochEvery);
+    spec += " seed=" + u64(config.seed);
+    return spec;
 }
 
 SystemConfig

@@ -32,11 +32,21 @@ double weightedSpeedup(const SystemMetrics &config,
 /**
  * Apply common CLI overrides (key=value) to a config:
  * scale=, cores=, timed=, warm=, measure=, seed=, mlp=, jobs=,
+ * epoch= (metric snapshot period; 0 disables epoch sampling),
  * full=1 (full sets scale=1: paper-sized 4GB cache and footprints).
  * jobs= sets the sweep worker count (0 = all hardware threads,
  * jobs=1 = the historical serial path); results never depend on it.
  */
 void applyCliOverrides(SystemConfig &config, const Config &cli);
+
+/**
+ * Canonical one-line description of a SystemConfig, embedded in run
+ * reports so a report fully identifies its configuration.  Every
+ * field that affects simulation results appears (jobs= does not,
+ * because it never changes results); the policy spec uses
+ * core::canonicalSpec() so policy knobs round-trip too.
+ */
+std::string canonicalConfigSpec(const SystemConfig &config);
 
 /** Direct-mapped baseline config for a workload. */
 SystemConfig baselineConfig(const std::string &workload);

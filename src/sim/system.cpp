@@ -61,6 +61,16 @@ System::System(const SystemConfig &config) : config_(config)
     if (config_.fullHierarchy && config_.runTimed)
         fatal("full-hierarchy mode supports functional runs only "
               "(set runTimed=false)");
+
+    // Registration happens once, here; the hot paths never touch the
+    // registry.  Timed cores register later (runTimed creates them).
+    cache_->registerMetrics(registry_, "l4");
+    cache_->hbm().registerMetrics(registry_, "dram");
+    nvm->registerMetrics(registry_, "nvm");
+    for (std::size_t core = 0; core < hierarchies.size(); ++core) {
+        hierarchies[core]->registerMetrics(
+            registry_, "core" + std::to_string(core));
+    }
 }
 
 System::~System() = default;
@@ -105,6 +115,7 @@ System::measureFunctional()
     std::vector<std::uint64_t> remaining(config_.numCores,
                                          config_.measurePerCore);
     bool any = config_.measurePerCore > 0;
+    std::uint64_t done = 0;
     constexpr unsigned chunk = 8;
     while (any) {
         any = false;
@@ -114,9 +125,20 @@ System::measureFunctional()
             for (std::uint64_t i = 0; i < n; ++i)
                 funcAccess(core);
             remaining[core] -= n;
+            done += n;
             any = any || remaining[core] > 0;
         }
+        maybeSampleEpoch(done);
     }
+}
+
+void
+System::maybeSampleEpoch(std::uint64_t position)
+{
+    if (config_.epochEvery == 0 || position < next_epoch_at_)
+        return;
+    epoch_series_.record(position, registry_.snapshot());
+    next_epoch_at_ = position + config_.epochEvery;
 }
 
 void
@@ -158,6 +180,8 @@ System::runTimed()
         params.quota = config_.timedPerCore;
         cores.push_back(std::make_unique<CoreModel>(
             core, params, *mixers[core], *cache_, eq));
+        cores.back()->registerMetrics(
+            registry_, "core" + std::to_string(core));
     }
     for (auto &core : cores)
         core->start();
@@ -169,7 +193,16 @@ System::runTimed()
         }
         return true;
     };
-    eq.runUntil(all_done);
+    const auto tick = [this, &all_done] {
+        if (config_.epochEvery > 0) {
+            std::uint64_t completed = 0;
+            for (const auto &core : cores)
+                completed += core->completedReads();
+            maybeSampleEpoch(completed);
+        }
+        return all_done();
+    };
+    eq.runUntil(tick);
     if (!all_done())
         panic("timed phase deadlocked: event queue drained with "
               "unfinished cores");
@@ -180,6 +213,10 @@ System::run()
 {
     warm();
     cache_->resetStats();
+
+    // Epoch positions count measurement-phase progress only; the
+    // first sample lands once epochEvery units have elapsed.
+    next_epoch_at_ = config_.epochEvery;
 
     if (config_.runTimed)
         runTimed();
@@ -195,6 +232,8 @@ System::run()
     m.nvmStats = nvm->aggregateStats();
     if (cache_->policy())
         m.policyStorageBits = cache_->policy()->storageBits();
+    m.finalMetrics = registry_.snapshot();
+    m.epochs = epoch_series_;
 
     if (config_.runTimed) {
         Cycle last = 0;

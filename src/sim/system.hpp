@@ -19,6 +19,7 @@
 
 #include "cache/hierarchy.hpp"
 #include "common/event_queue.hpp"
+#include "common/metrics/registry.hpp"
 #include "core/factory.hpp"
 #include "dramcache/controller.hpp"
 #include "nvm/nvm_system.hpp"
@@ -97,6 +98,15 @@ struct SystemConfig
      */
     bool fullHierarchy = false;
 
+    /**
+     * Snapshot the metric registry every this many demand accesses
+     * (functional runs) or completed demand reads (timed runs) during
+     * the measurement phase, into SystemMetrics::epochs.  0 (the
+     * default) disables epoch sampling entirely — no snapshots, no
+     * overhead.
+     */
+    std::uint64_t epochEvery = 0;
+
     std::uint64_t seed = 1;
 
     /** Scaled cache capacity in bytes. */
@@ -121,6 +131,12 @@ struct SystemMetrics
 
     /** SRAM bits the way policy required. */
     std::uint64_t policyStorageBits = 0;
+
+    /** Registry snapshot at the end of the measurement phase. */
+    MetricSnapshot finalMetrics;
+
+    /** Epoch time-series (empty unless SystemConfig::epochEvery). */
+    MetricSeries epochs;
 };
 
 /** One assembled simulation instance. */
@@ -139,6 +155,9 @@ class System
     dramcache::DramCacheController &cache() { return *cache_; }
     const SystemConfig &config() const { return config_; }
 
+    /** The hierarchical metric registry every component feeds. */
+    const MetricRegistry &metrics() const { return registry_; }
+
   private:
     void warm();
     void measureFunctional();
@@ -147,8 +166,14 @@ class System
     /** One functional access for a core (direct or via hierarchy). */
     void funcAccess(unsigned core);
 
+    /** Record an epoch sample if `position` crossed the next epoch. */
+    void maybeSampleEpoch(std::uint64_t position);
+
     SystemConfig config_;
     EventQueue eq;
+    MetricRegistry registry_;
+    MetricSeries epoch_series_;
+    std::uint64_t next_epoch_at_ = 0;
     std::unique_ptr<nvm::NvmSystem> nvm;
     std::unique_ptr<dramcache::DramCacheController> cache_;
 

@@ -1,0 +1,19 @@
+// Fixture: a bench source that prints results directly instead of
+// going through report::Reporter, so the text output and the JSON
+// report could diverge.
+// expect: printf-metrics
+
+#include <cstdio>
+
+int
+main()
+{
+    const double hit_rate = 0.742;
+    std::printf("hit rate: %.1f%%\n", hit_rate * 100.0);
+
+    // snprintf into a label is allowed: it builds a cell, it does not
+    // bypass the report layer.
+    char label[32];
+    std::snprintf(label, sizeof label, "PIP=%.0f%%", 85.0);
+    return 0;
+}

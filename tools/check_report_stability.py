@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Byte-stability gate for bench run reports.
+
+Runs one bench binary three times — ``jobs=1``, ``jobs=3``, and
+``jobs=1`` again — with ``--json=<tmp>`` and checks that
+
+1. every invocation exits 0,
+2. the emitted documents parse as ``accord.run_report/1`` JSON with
+   the expected top-level shape, and
+3. all three JSON files are byte-identical, proving the report is
+   deterministic across re-runs and across worker counts.
+
+Optionally, ``--baseline golden.json`` then diffs the (now proven
+stable) report against a checked-in baseline via compare_reports.py
+with ``--rtol``/``--atol`` tolerances.
+
+Usage:
+    tools/check_report_stability.py --bench path/to/bench_binary \
+        [--workdir DIR] [--baseline golden.json] [--rtol 1e-4] \
+        [-- bench args like scale=4096 ...]
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+SCHEMA = "accord.run_report/1"
+REQUIRED_KEYS = ("schema", "title", "reproduces", "params", "configs",
+                 "notes", "tables", "runs")
+
+
+def run_bench(bench, bench_args, jobs, json_path):
+    cmd = [bench, *bench_args, f"jobs={jobs}", f"--json={json_path}"]
+    result = subprocess.run(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    if result.returncode != 0:
+        print(f"check_report_stability: {' '.join(cmd)} exited "
+              f"{result.returncode}")
+        print(result.stdout)
+        return False
+    if not json_path.is_file():
+        print(f"check_report_stability: {json_path} was not written")
+        return False
+    return True
+
+
+def validate_schema(json_path):
+    with open(json_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    problems = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {SCHEMA!r}")
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if not isinstance(doc.get("tables"), dict):
+        problems.append("tables is not an object")
+    else:
+        for name, table in doc["tables"].items():
+            if set(table) != {"columns", "rows"}:
+                problems.append(f"table {name!r} keys are "
+                                f"{sorted(table)}")
+                continue
+            width = len(table["columns"])
+            for r, row in enumerate(table["rows"]):
+                if len(row) != width:
+                    problems.append(
+                        f"table {name!r} row {r} has {len(row)} "
+                        f"cells for {width} columns")
+    for key, run in doc.get("runs", {}).items():
+        if "spec" not in run or "metrics" not in run:
+            problems.append(f"run {key!r} lacks spec/metrics")
+    for problem in problems:
+        print(f"check_report_stability: {json_path}: {problem}")
+    return not problems
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="prove a bench report is byte-stable across "
+                    "jobs= values and re-runs"
+    )
+    parser.add_argument("--bench", required=True,
+                        help="bench binary to run")
+    parser.add_argument("--workdir", default="report_stability",
+                        help="directory for the emitted reports")
+    parser.add_argument("--baseline",
+                        help="optional golden report to diff against")
+    parser.add_argument("--rtol", type=float, default=1e-4,
+                        help="relative tolerance for the baseline diff")
+    parser.add_argument("--atol", type=float, default=1e-9,
+                        help="absolute tolerance for the baseline diff")
+    parser.add_argument("bench_args", nargs="*",
+                        help="key=value arguments forwarded to the "
+                             "bench (after --)")
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    plan = [(1, workdir / "jobs1_a.json"),
+            (3, workdir / "jobs3.json"),
+            (1, workdir / "jobs1_b.json")]
+    for jobs, path in plan:
+        if not run_bench(args.bench, args.bench_args, jobs, path):
+            return 1
+
+    reference = plan[0][1].read_bytes()
+    stable = True
+    for jobs, path in plan[1:]:
+        if path.read_bytes() != reference:
+            print(f"check_report_stability: {path} (jobs={jobs}) "
+                  f"differs from {plan[0][1]} (jobs=1)")
+            stable = False
+    if not stable:
+        return 1
+
+    if not validate_schema(plan[0][1]):
+        return 1
+
+    print(f"check_report_stability: {args.bench} report is "
+          f"byte-stable across jobs=1/3/1")
+
+    if args.baseline:
+        compare = pathlib.Path(__file__).with_name(
+            "compare_reports.py")
+        result = subprocess.run(
+            [sys.executable, str(compare), args.baseline,
+             str(plan[0][1]), f"--rtol={args.rtol}",
+             f"--atol={args.atol}"])
+        return result.returncode
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,11 @@ Rules
     on the hash implementation and must never reach stats, tables, or
     logs.  Sort first (see ``DcpDirectory::entries()``), or annotate a
     provably order-insensitive loop.
+``printf-metrics``
+    ``printf``/``fprintf``/``puts``/``fputs`` in ``bench/`` sources:
+    results must flow through the report layer (``report::Reporter``
+    tables and notes) so the printed numbers and the machine-readable
+    JSON/CSV can never diverge.  ``snprintf`` into a label is fine.
 
 Escape hatch: a ``// lint: allow(<rule>)`` comment on the offending
 line or the line directly above suppresses that rule there.  Use it
@@ -94,6 +99,17 @@ LINE_RULES = [
         "which varies under ASLR; key by a stable id",
     ),
 ]
+
+# Directories whose sources must print through the report layer.
+REPORT_ONLY_DIRS = ("bench",)
+
+PRINTF_RULE = (
+    "printf-metrics",
+    re.compile(r"(?<![\w:.])(?:std::)?(?:f?printf|f?puts)\s*\("),
+    "bench output must go through report::Reporter tables/notes so the "
+    "text and the JSON report cannot diverge; snprintf into a label is "
+    "allowed",
+)
 
 ENGINE_RULE = (
     "std-engine",
@@ -209,6 +225,9 @@ def lint_file(path, rel):
     allows = collect_allows(raw_lines)
     violations = []
     engines_allowed = any(rel.endswith(a) for a in ENGINE_ALLOWLIST)
+    report_only = any(
+        d in pathlib.PurePath(rel).parts for d in REPORT_ONLY_DIRS
+    )
 
     # Pass 1: find names declared with unordered container types.
     unordered_names = set()
@@ -229,6 +248,14 @@ def lint_file(path, rel):
         rule, regex, message = ENGINE_RULE
         if (
             not engines_allowed
+            and regex.search(code)
+            and not is_allowed(allows, lineno, rule)
+        ):
+            violations.append(Violation(rel, lineno, rule, message))
+
+        rule, regex, message = PRINTF_RULE
+        if (
+            report_only
             and regex.search(code)
             and not is_allowed(allows, lineno, rule)
         ):
