@@ -11,6 +11,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
+#include "common/trace_event/tracer.hpp"
 #include "core/factory.hpp"
 #include "core/ganged.hpp"
 #include "dramcache/tag_store.hpp"
@@ -110,6 +111,51 @@ BM_Rng(benchmark::State &state)
 }
 
 void
+BM_TraceHookOff(benchmark::State &state)
+{
+    // The instrumentation contract: with trace= unset every hook site
+    // reduces to one branch on a null pointer.  This is what rides in
+    // the simulator's hot loops, so it must stay at noise level next
+    // to BM_Rng / BM_EventQueue.
+    trace_event::Tracer *tracer = nullptr;
+    benchmark::DoNotOptimize(tracer);
+    Rng rng(13);
+    std::uint64_t issued = 0;
+    for (auto _ : state) {
+        const LineAddr line = rng.next();
+        trace_event::TxnId txn = trace_event::kNoTxn;
+        if (tracer != nullptr)
+            txn = tracer->begin(trace_event::TxnKind::Read, 0, line,
+                                Cycle(issued));
+        ++issued;
+        benchmark::DoNotOptimize(txn);
+    }
+}
+
+void
+BM_TraceHookOn(benchmark::State &state)
+{
+    // Cost of a fully traced transaction (begin, lookup phase, probe
+    // point, complete) with a small ring so memory stays bounded.
+    trace_event::TracerConfig config;
+    config.cap = 1024;
+    trace_event::Tracer tracer(config);
+    Rng rng(13);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const trace_event::TxnId txn = tracer.begin(
+            trace_event::TxnKind::Read, 0, rng.next(), now);
+        tracer.phaseBegin(txn, trace_event::Phase::Lookup, now);
+        tracer.point(txn, trace_event::Point::ProbeIssue, now);
+        tracer.phaseEnd(txn, trace_event::Phase::Lookup, now + 64);
+        tracer.complete(txn, trace_event::RequestClass::HitPredict,
+                        now + 64);
+        now += 8;
+        benchmark::DoNotOptimize(txn);
+    }
+}
+
+void
 BM_EventQueue(benchmark::State &state)
 {
     EventQueue eq;
@@ -128,6 +174,8 @@ BENCHMARK(BM_PolicyPartialTag);
 BENCHMARK(BM_RegionTableLookup)->Arg(64)->Arg(256);
 BENCHMARK(BM_TagStoreFindWay)->Arg(2)->Arg(8);
 BENCHMARK(BM_Rng);
+BENCHMARK(BM_TraceHookOff);
+BENCHMARK(BM_TraceHookOn);
 BENCHMARK(BM_EventQueue);
 
 } // namespace

@@ -175,6 +175,7 @@ MetricRegistry::addHistogram(const std::string &path,
     addLeaf(path + ".mean", {Leaf::HistMean, &histogram, nullptr});
     addLeaf(path + ".p50", {Leaf::HistP50, &histogram, nullptr});
     addLeaf(path + ".p95", {Leaf::HistP95, &histogram, nullptr});
+    addLeaf(path + ".p99", {Leaf::HistP99, &histogram, nullptr});
 }
 
 void
@@ -245,6 +246,9 @@ MetricRegistry::sampleLeaf(const LeafEntry &entry)
     case Leaf::HistP95:
         return static_cast<double>(
             static_cast<const Histogram *>(entry.ptr)->percentile(0.95));
+    case Leaf::HistP99:
+        return static_cast<double>(
+            static_cast<const Histogram *>(entry.ptr)->percentile(0.99));
     case Leaf::RawValue:
         return static_cast<double>(
             *static_cast<const std::uint64_t *>(entry.ptr));

@@ -14,7 +14,7 @@
  *   Counter   p            -> p
  *   Ratio     p            -> p.hits, p.total, p.hit_rate
  *   Average   p            -> p.count, p.mean, p.min, p.max
- *   Histogram p            -> p.count, p.mean, p.p50, p.p95
+ *   Histogram p            -> p.count, p.mean, p.p50, p.p95, p.p99
  *   raw uint64 / gauge fn  -> p
  *
  * Paths are lowercase [a-z0-9_] segments joined by '.'; duplicate or
@@ -115,7 +115,7 @@ class MetricRegistry
     /** Register an Average; expands to .count/.mean/.min/.max. */
     void addAverage(const std::string &path, const Average &average);
 
-    /** Register a Histogram; expands to .count/.mean/.p50/.p95. */
+    /** Register a Histogram; expands to .count/.mean/.p50/.p95/.p99. */
     void addHistogram(const std::string &path,
                       const Histogram &histogram);
 
@@ -159,6 +159,7 @@ class MetricRegistry
         HistMean,
         HistP50,
         HistP95,
+        HistP99,
         RawValue,
         GaugeFn,
     };

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Transaction-trace vocabulary: ids, request classes, phases, and the
+ * per-event record the Tracer accumulates.
+ *
+ * Every timed demand read, writeback, and cache fill gets a TxnId at
+ * issue and carries it through the DRAM-cache controller into the
+ * device channels, so each burst on a bus and each bank command can be
+ * attributed back to the request that caused it.  Timestamps are
+ * simulation cycles exclusively — never wall-clock time — so a trace
+ * is a pure function of the run configuration and two runs of the
+ * same config serialize to byte-identical JSON.
+ */
+
+#ifndef ACCORD_COMMON_TRACE_EVENT_TRACE_EVENT_HPP
+#define ACCORD_COMMON_TRACE_EVENT_TRACE_EVENT_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace accord::trace_event
+{
+
+/** Per-transaction identifier; 0 means "not traced". */
+using TxnId = std::uint64_t;
+inline constexpr TxnId kNoTxn = 0;
+
+/** Core id for transactions with no issuing core (posted fills). */
+inline constexpr unsigned kNoCore = ~0U;
+
+/** What kind of memory transaction a TxnId names. */
+enum class TxnKind : std::uint8_t
+{
+    Read,       ///< demand read (L3 miss)
+    Writeback,  ///< dirty L3 eviction
+    Fill,       ///< cache install after a miss (array write + victim)
+};
+inline constexpr unsigned kNumTxnKinds = 3;
+
+/**
+ * Latency class a completed transaction lands in.  Reads split by
+ * lookup outcome (the paper's Table I cost classes); writebacks and
+ * fills are their own classes.
+ */
+enum class RequestClass : std::uint8_t
+{
+    HitPredict,     ///< hit, first probe correct
+    HitMispredict,  ///< hit after one or more wrong probes
+    Miss,           ///< confirmed miss, served from NVM
+    Writeback,      ///< dirty eviction routed to cache or NVM
+    Fill,           ///< post-miss install (array write + victim)
+};
+inline constexpr unsigned kNumClasses = 5;
+
+/** Nested phases within a transaction's lifetime. */
+enum class Phase : std::uint8_t
+{
+    Lookup,  ///< L4 tag/data probes until hit or miss confirmation
+    Nvm,     ///< main-memory access after a confirmed miss
+};
+inline constexpr unsigned kNumPhases = 2;
+
+/** Instantaneous markers within a transaction. */
+enum class Point : std::uint8_t
+{
+    ProbeIssue,      ///< one way probe entered the device (arg: way)
+    PredictCorrect,  ///< hit on the first probe (arg: way)
+    PredictWrong,    ///< hit after a misprediction (arg: way)
+    MissConfirm,     ///< last candidate probe returned absent
+    RoutedToCache,   ///< writeback target resolved to the L4 array
+    RoutedToNvm,     ///< writeback/victim routed to main memory
+    BankAct,         ///< row activate at a device bank (arg: row)
+    BankCas,         ///< column access at a device bank (arg: row)
+};
+
+/** Which device a track belongs to. */
+enum class Device : std::uint8_t
+{
+    Dram,  ///< the stacked-DRAM array holding the L4
+    Nvm,   ///< main memory below the cache
+};
+inline constexpr unsigned kNumDevices = 2;
+
+const char *name(TxnKind kind);
+const char *name(RequestClass cls);
+const char *name(Phase phase);
+const char *name(Point point);
+const char *name(Device device);
+
+/** Tracer knobs (the `trace=` / `trace_cap=` CLI parameters). */
+struct TracerConfig
+{
+    /** Output path of the Chrome-trace JSON. */
+    std::string path;
+
+    /**
+     * Completed transactions retained in the ring buffer; the oldest
+     * completed transaction (and all its events) is evicted beyond
+     * this.  0 keeps everything.  Open transactions are never evicted
+     * — their count is bounded by cores x MLP — so exported traces
+     * always contain whole, well-nested transactions.
+     */
+    std::uint64_t cap = 0;
+};
+
+/** Discriminates the Event payload. */
+enum class EventKind : std::uint8_t
+{
+    PhaseBegin,   ///< code = Phase
+    PhaseEnd,     ///< code = Phase
+    Point,        ///< code = Point (BankAct/BankCas render on banks)
+    Burst,        ///< one data-bus burst on a device channel
+    QueueSample,  ///< read/write queue depths at scheduling time
+};
+
+/**
+ * One timestamped trace event, stored inside its owning transaction's
+ * record so ring-buffer eviction drops whole transactions and never
+ * leaves dangling halves of a begin/end pair.
+ */
+struct Event
+{
+    EventKind kind = EventKind::Point;
+
+    /** Simulation time of the event (CPU cycles). */
+    Cycle tick = 0;
+
+    /** Global emission sequence; total order for same-tick events. */
+    std::uint64_t seq = 0;
+
+    /** Phase or Point enum value, per `kind`. */
+    std::uint8_t code = 0;
+
+    /** Point payload (way index, row, ...). */
+    std::uint64_t arg = 0;
+
+    // Device-side fields (Burst / QueueSample / Bank* points).
+    std::int32_t track = -1;  ///< device track id, -1 = request track
+    std::uint16_t bank = 0;
+    bool isWrite = false;
+    bool rowHit = false;
+    std::uint64_t row = 0;
+    Cycle duration = 0;             ///< Burst: data-bus occupancy
+    std::uint64_t queueCycles = 0;  ///< Burst: enqueue -> scheduled
+    std::uint64_t serviceCycles = 0;  ///< Burst: scheduled -> data end
+    std::uint64_t readDepth = 0;    ///< QueueSample
+    std::uint64_t writeDepth = 0;   ///< QueueSample
+};
+
+/** Everything recorded about one transaction. */
+struct TxnRecord
+{
+    TxnId id = kNoTxn;
+    TxnKind kind = TxnKind::Read;
+    RequestClass cls = RequestClass::Miss;
+    unsigned core = kNoCore;
+    LineAddr line = 0;
+    Cycle begin = 0;
+    Cycle end = 0;
+    std::uint64_t beginSeq = 0;
+    std::uint64_t endSeq = 0;
+    bool completed = false;
+    std::vector<Event> events;
+
+    /** Queue/service cycles accumulated from bursts, per device. */
+    std::array<std::uint64_t, kNumDevices> queueCycles{};
+    std::array<std::uint64_t, kNumDevices> serviceCycles{};
+};
+
+} // namespace accord::trace_event
+
+#endif // ACCORD_COMMON_TRACE_EVENT_TRACE_EVENT_HPP

@@ -1,0 +1,581 @@
+#include "common/trace_event/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace accord::trace_event
+{
+
+namespace
+{
+
+/** Chrome pid of the per-core request-flow process. */
+constexpr std::uint64_t kRequestPid = 1;
+
+/** Chrome pid of device track `t` (one process per channel). */
+std::uint64_t
+trackPid(std::int32_t track)
+{
+    return 100 + static_cast<std::uint64_t>(track);
+}
+
+/** Chrome tid of a request-flow event (posted txns share one lane). */
+std::uint64_t
+coreTid(unsigned core)
+{
+    return core == kNoCore ? 0xffff : core;
+}
+
+std::string
+hexLine(LineAddr line)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(line));
+    return buf;
+}
+
+} // namespace
+
+const char *
+name(TxnKind kind)
+{
+    switch (kind) {
+    case TxnKind::Read: return "read";
+    case TxnKind::Writeback: return "writeback";
+    case TxnKind::Fill: return "fill";
+    }
+    panic("unreachable TxnKind");
+}
+
+const char *
+name(RequestClass cls)
+{
+    switch (cls) {
+    case RequestClass::HitPredict: return "hit_predict";
+    case RequestClass::HitMispredict: return "hit_mispredict";
+    case RequestClass::Miss: return "miss";
+    case RequestClass::Writeback: return "writeback";
+    case RequestClass::Fill: return "fill";
+    }
+    panic("unreachable RequestClass");
+}
+
+const char *
+name(Phase phase)
+{
+    switch (phase) {
+    case Phase::Lookup: return "lookup";
+    case Phase::Nvm: return "nvm";
+    }
+    panic("unreachable Phase");
+}
+
+const char *
+name(Point point)
+{
+    switch (point) {
+    case Point::ProbeIssue: return "probe_issue";
+    case Point::PredictCorrect: return "predict_correct";
+    case Point::PredictWrong: return "predict_wrong";
+    case Point::MissConfirm: return "miss_confirm";
+    case Point::RoutedToCache: return "routed_to_cache";
+    case Point::RoutedToNvm: return "routed_to_nvm";
+    case Point::BankAct: return "ACT";
+    case Point::BankCas: return "CAS";
+    }
+    panic("unreachable Point");
+}
+
+const char *
+name(Device device)
+{
+    switch (device) {
+    case Device::Dram: return "dram";
+    case Device::Nvm: return "nvm";
+    }
+    panic("unreachable Device");
+}
+
+Tracer::Tracer(TracerConfig config) : config_(std::move(config)) {}
+
+std::int32_t
+Tracer::registerDeviceTrack(Device device, unsigned channel)
+{
+    tracks_.push_back({device, channel});
+    return static_cast<std::int32_t>(tracks_.size()) - 1;
+}
+
+TxnId
+Tracer::begin(TxnKind kind, unsigned core, LineAddr line, Cycle now)
+{
+    const TxnId id = ++last_id_;
+    TxnRecord record;
+    record.id = id;
+    record.kind = kind;
+    record.core = core;
+    record.line = line;
+    record.begin = now;
+    record.beginSeq = next_seq_++;
+    txns_.emplace(id, std::move(record));
+    ++open_count_;
+    return id;
+}
+
+TxnRecord *
+Tracer::lookup(TxnId txn)
+{
+    const auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+        // The op outlived its (ring-evicted) transaction; drop the
+        // event rather than resurrecting a partial record.
+        ++dropped_events_;
+        return nullptr;
+    }
+    return &it->second;
+}
+
+Event &
+Tracer::append(TxnRecord &record, EventKind kind, Cycle tick)
+{
+    record.events.emplace_back();
+    Event &event = record.events.back();
+    event.kind = kind;
+    event.tick = tick;
+    event.seq = next_seq_++;
+    return event;
+}
+
+void
+Tracer::phaseBegin(TxnId txn, Phase phase, Cycle now)
+{
+    TxnRecord *record = lookup(txn);
+    if (record == nullptr)
+        return;
+    Event &event = append(*record, EventKind::PhaseBegin, now);
+    event.code = static_cast<std::uint8_t>(phase);
+}
+
+void
+Tracer::phaseEnd(TxnId txn, Phase phase, Cycle now)
+{
+    TxnRecord *record = lookup(txn);
+    if (record == nullptr)
+        return;
+    Event &event = append(*record, EventKind::PhaseEnd, now);
+    event.code = static_cast<std::uint8_t>(phase);
+}
+
+void
+Tracer::point(TxnId txn, Point point, Cycle now, std::uint64_t arg)
+{
+    TxnRecord *record = lookup(txn);
+    if (record == nullptr)
+        return;
+    Event &event = append(*record, EventKind::Point, now);
+    event.code = static_cast<std::uint8_t>(point);
+    event.arg = arg;
+}
+
+void
+Tracer::burst(TxnId txn, std::int32_t track, unsigned bank,
+              std::uint64_t row, bool isWrite, bool rowHit,
+              Cycle enqueuedAt, Cycle pickedAt, Cycle actAt,
+              Cycle casAt, Cycle dataStart, Cycle dataEnd,
+              std::size_t readDepth, std::size_t writeDepth)
+{
+    TxnRecord *record = lookup(txn);
+    if (record == nullptr)
+        return;
+    ACCORD_ASSERT(track >= 0
+                      && static_cast<std::size_t>(track)
+                          < tracks_.size(),
+                  "burst on unregistered trace track");
+
+    Event &event = append(*record, EventKind::Burst, dataStart);
+    event.track = track;
+    event.bank = static_cast<std::uint16_t>(bank);
+    event.isWrite = isWrite;
+    event.rowHit = rowHit;
+    event.row = row;
+    event.duration = dataEnd - dataStart;
+    event.queueCycles = pickedAt - enqueuedAt;
+    event.serviceCycles = dataEnd - pickedAt;
+
+    const auto device = static_cast<unsigned>(
+        tracks_[static_cast<std::size_t>(track)].device);
+    record->queueCycles[device] += event.queueCycles;
+    record->serviceCycles[device] += event.serviceCycles;
+
+    if (actAt != invalidCycle) {
+        Event &act = append(*record, EventKind::Point, actAt);
+        act.code = static_cast<std::uint8_t>(Point::BankAct);
+        act.track = track;
+        act.bank = static_cast<std::uint16_t>(bank);
+        act.row = row;
+        act.arg = row;
+    }
+    Event &cas = append(*record, EventKind::Point, casAt);
+    cas.code = static_cast<std::uint8_t>(Point::BankCas);
+    cas.track = track;
+    cas.bank = static_cast<std::uint16_t>(bank);
+    cas.row = row;
+    cas.arg = row;
+
+    Event &depth = append(*record, EventKind::QueueSample, pickedAt);
+    depth.track = track;
+    depth.readDepth = readDepth;
+    depth.writeDepth = writeDepth;
+}
+
+void
+Tracer::complete(TxnId txn, RequestClass cls, Cycle now)
+{
+    TxnRecord *record = lookup(txn);
+    if (record == nullptr)
+        return;
+    ACCORD_ASSERT(!record->completed,
+                  "transaction completed twice (txn %llu)",
+                  static_cast<unsigned long long>(txn));
+    record->cls = cls;
+    record->end = now;
+    record->endSeq = next_seq_++;
+    record->completed = true;
+    --open_count_;
+
+    ClassStats &stats = class_stats_[static_cast<unsigned>(cls)];
+    const Cycle total = now - record->begin;
+    stats.latency.sample(total);
+    const auto dram = static_cast<unsigned>(Device::Dram);
+    const auto nvm = static_cast<unsigned>(Device::Nvm);
+    stats.dramQueue.sample(
+        static_cast<double>(record->queueCycles[dram]));
+    stats.dramService.sample(
+        static_cast<double>(record->serviceCycles[dram]));
+    stats.nvmQueue.sample(
+        static_cast<double>(record->queueCycles[nvm]));
+    stats.nvmService.sample(
+        static_cast<double>(record->serviceCycles[nvm]));
+    // Parallel probes overlap, so attributed cycles can exceed the
+    // wall time; the remainder clamps at zero in that case.
+    const std::uint64_t attributed = record->queueCycles[dram]
+        + record->serviceCycles[dram] + record->queueCycles[nvm]
+        + record->serviceCycles[nvm];
+    stats.other.sample(total > attributed
+                           ? static_cast<double>(total - attributed)
+                           : 0.0);
+
+    completed_order_.push_back(txn);
+    if (config_.cap > 0) {
+        while (completed_order_.size() > config_.cap) {
+            txns_.erase(completed_order_.front());
+            completed_order_.pop_front();
+            ++evicted_;
+        }
+    }
+}
+
+std::vector<const TxnRecord *>
+Tracer::completedRecords() const
+{
+    std::vector<const TxnRecord *> records;
+    records.reserve(completed_order_.size());
+    for (const TxnId id : completed_order_) {
+        const auto it = txns_.find(id);
+        if (it != txns_.end())
+            records.push_back(&it->second);
+    }
+    return records;
+}
+
+const TxnRecord *
+Tracer::find(TxnId txn) const
+{
+    const auto it = txns_.find(txn);
+    return it == txns_.end() ? nullptr : &it->second;
+}
+
+const ClassStats &
+Tracer::classStats(RequestClass cls) const
+{
+    return class_stats_[static_cast<unsigned>(cls)];
+}
+
+void
+Tracer::registerMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const
+{
+    for (unsigned c = 0; c < kNumClasses; ++c) {
+        const ClassStats &stats = class_stats_[c];
+        const std::string base = MetricRegistry::join(
+            prefix, name(static_cast<RequestClass>(c)));
+        registry.addHistogram(base + ".latency", stats.latency);
+        registry.addAverage(base + ".phase.dram_queue",
+                            stats.dramQueue);
+        registry.addAverage(base + ".phase.dram_service",
+                            stats.dramService);
+        registry.addAverage(base + ".phase.nvm_queue", stats.nvmQueue);
+        registry.addAverage(base + ".phase.nvm_service",
+                            stats.nvmService);
+        registry.addAverage(base + ".phase.other", stats.other);
+    }
+}
+
+// --------------------------------------------------------------------
+// Chrome trace-event export
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** One renderable Chrome event, sortable by (ts, seq). */
+struct DisplayEvent
+{
+    Cycle ts = 0;
+    std::uint64_t seq = 0;
+    char ph = 'i';
+    std::string eventName;
+    std::uint64_t pid = kRequestPid;
+    std::uint64_t tid = 0;
+    bool hasId = false;
+    TxnId id = kNoTxn;
+    Cycle dur = 0;
+    const TxnRecord *record = nullptr;  // b/e request span args
+    const Event *event = nullptr;       // device payload args
+    bool isSpanEnd = false;
+};
+
+void
+writeEvent(JsonWriter &json, const DisplayEvent &display)
+{
+    json.beginObject();
+    json.key("name").value(display.eventName);
+    if (display.ph == 'b' || display.ph == 'e' || display.ph == 'n')
+        json.key("cat").value("txn");
+    json.key("ph").value(std::string(1, display.ph));
+    json.key("ts").value(std::uint64_t{display.ts});
+    json.key("pid").value(display.pid);
+    json.key("tid").value(display.tid);
+    if (display.hasId)
+        json.key("id").value(std::uint64_t{display.id});
+    if (display.ph == 'X')
+        json.key("dur").value(std::uint64_t{display.dur});
+    if (display.ph == 'i')
+        json.key("s").value("t");
+
+    const Event *event = display.event;
+    if (display.record != nullptr && display.ph == 'b') {
+        json.key("args").beginObject();
+        json.key("line").value(hexLine(display.record->line));
+        json.key("core").value(
+            display.record->core == kNoCore
+                ? std::int64_t{-1}
+                : static_cast<std::int64_t>(display.record->core));
+        json.endObject();
+    } else if (display.record != nullptr && display.isSpanEnd) {
+        json.key("args").beginObject();
+        json.key("class").value(name(display.record->cls));
+        json.endObject();
+    } else if (event != nullptr && event->kind == EventKind::Burst) {
+        json.key("args").beginObject();
+        json.key("txn").value(std::uint64_t{display.id});
+        json.key("bank").value(unsigned{event->bank});
+        json.key("row").value(std::uint64_t{event->row});
+        json.key("row_hit").value(event->rowHit);
+        json.key("queue").value(std::uint64_t{event->queueCycles});
+        json.key("service").value(std::uint64_t{event->serviceCycles});
+        json.endObject();
+    } else if (event != nullptr
+               && event->kind == EventKind::QueueSample) {
+        json.key("args").beginObject();
+        json.key("read").value(std::uint64_t{event->readDepth});
+        json.key("write").value(std::uint64_t{event->writeDepth});
+        json.endObject();
+    } else if (event != nullptr && event->kind == EventKind::Point
+               && display.ph == 'i') {
+        json.key("args").beginObject();
+        json.key("txn").value(std::uint64_t{display.id});
+        json.key("row").value(std::uint64_t{event->row});
+        json.endObject();
+    } else if (event != nullptr && event->kind == EventKind::Point) {
+        json.key("args").beginObject();
+        json.key("v").value(std::uint64_t{event->arg});
+        json.endObject();
+    }
+    json.endObject();
+}
+
+void
+writeMetadata(JsonWriter &json, const char *metaName,
+              std::uint64_t pid, bool hasTid, std::uint64_t tid,
+              const std::string &label)
+{
+    json.beginObject();
+    json.key("name").value(metaName);
+    json.key("ph").value("M");
+    json.key("pid").value(pid);
+    if (hasTid)
+        json.key("tid").value(tid);
+    json.key("args").beginObject();
+    json.key("name").value(label);
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+Tracer::toJson() const
+{
+    // Gather display events from every retained completed txn; open
+    // transactions are excluded so every async begin has its end.
+    std::vector<DisplayEvent> display;
+    std::set<std::uint64_t> request_tids;
+    std::vector<std::set<std::uint64_t>> bank_tids(tracks_.size());
+
+    for (const auto &[id, record] : txns_) {
+        if (!record.completed)
+            continue;
+        request_tids.insert(coreTid(record.core));
+
+        DisplayEvent span_begin;
+        span_begin.ts = record.begin;
+        span_begin.seq = record.beginSeq;
+        span_begin.ph = 'b';
+        span_begin.eventName = name(record.kind);
+        span_begin.tid = coreTid(record.core);
+        span_begin.hasId = true;
+        span_begin.id = id;
+        span_begin.record = &record;
+        display.push_back(span_begin);
+
+        DisplayEvent span_end = span_begin;
+        span_end.ts = record.end;
+        span_end.seq = record.endSeq;
+        span_end.ph = 'e';
+        span_end.isSpanEnd = true;
+        display.push_back(span_end);
+
+        for (const Event &event : record.events) {
+            DisplayEvent entry;
+            entry.ts = event.tick;
+            entry.seq = event.seq;
+            entry.id = id;
+            entry.event = &event;
+            switch (event.kind) {
+            case EventKind::PhaseBegin:
+            case EventKind::PhaseEnd:
+                entry.ph =
+                    event.kind == EventKind::PhaseBegin ? 'b' : 'e';
+                entry.eventName =
+                    name(static_cast<Phase>(event.code));
+                entry.tid = coreTid(record.core);
+                entry.hasId = true;
+                entry.event = nullptr;
+                break;
+            case EventKind::Point: {
+                const auto point = static_cast<Point>(event.code);
+                if (point == Point::BankAct
+                    || point == Point::BankCas) {
+                    entry.ph = 'i';
+                    entry.eventName = name(point);
+                    entry.pid = trackPid(event.track);
+                    entry.tid = 1 + std::uint64_t{event.bank};
+                    bank_tids[static_cast<std::size_t>(event.track)]
+                        .insert(entry.tid);
+                } else {
+                    entry.ph = 'n';
+                    entry.eventName = name(point);
+                    entry.tid = coreTid(record.core);
+                    entry.hasId = true;
+                }
+                break;
+            }
+            case EventKind::Burst:
+                entry.ph = 'X';
+                entry.eventName = event.isWrite ? "wr" : "rd";
+                entry.pid = trackPid(event.track);
+                entry.tid = 0;
+                entry.dur = event.duration;
+                break;
+            case EventKind::QueueSample:
+                entry.ph = 'C';
+                entry.eventName = "queue";
+                entry.pid = trackPid(event.track);
+                entry.tid = 0;
+                break;
+            }
+            display.push_back(entry);
+        }
+    }
+
+    std::stable_sort(display.begin(), display.end(),
+                     [](const DisplayEvent &a, const DisplayEvent &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.seq < b.seq;
+                     });
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+
+    writeMetadata(json, "process_name", kRequestPid, false, 0,
+                  "requests");
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        writeMetadata(json, "process_name", trackPid(
+                          static_cast<std::int32_t>(t)),
+                      false, 0,
+                      std::string(name(tracks_[t].device)) + ".ch"
+                          + std::to_string(tracks_[t].channel));
+    }
+    for (const std::uint64_t tid : request_tids) {
+        writeMetadata(json, "thread_name", kRequestPid, true, tid,
+                      tid == 0xffff ? std::string("posted")
+                                    : "core" + std::to_string(tid));
+    }
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        const auto pid = trackPid(static_cast<std::int32_t>(t));
+        writeMetadata(json, "thread_name", pid, true, 0, "bus");
+        for (const std::uint64_t tid : bank_tids[t]) {
+            writeMetadata(json, "thread_name", pid, true, tid,
+                          "bank" + std::to_string(tid - 1));
+        }
+    }
+
+    for (const DisplayEvent &entry : display)
+        writeEvent(json, entry);
+    json.endArray();
+
+    json.key("displayTimeUnit").value("ns");
+    json.key("metadata").beginObject();
+    json.key("clock").value("sim-cycles");
+    json.key("retained_txns")
+        .value(std::uint64_t{completed_order_.size()});
+    json.key("open_at_export").value(std::uint64_t{open_count_});
+    json.key("evicted_txns").value(std::uint64_t{evicted_});
+    json.key("dropped_events").value(std::uint64_t{dropped_events_});
+    json.endObject();
+    json.endObject();
+    return json.str() + "\n";
+}
+
+void
+Tracer::writeFile(const std::string &text) const
+{
+    std::ofstream file(config_.path,
+                       std::ios::binary | std::ios::trunc);
+    if (!file)
+        fatal("cannot open trace output '%s'", config_.path.c_str());
+    file << text;
+    if (!file)
+        fatal("failed writing trace output '%s'",
+              config_.path.c_str());
+}
+
+} // namespace accord::trace_event

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Ring-buffered transaction tracer with Chrome-trace export.
+ *
+ * The Tracer is wired only when a run sets `trace=`; every
+ * instrumentation site guards on a plain pointer (`if (tracer)`), so
+ * with tracing off the hot path costs one never-taken branch on a
+ * cold null and no event is ever constructed (the bench guard in
+ * bench_micro_components.cpp measures exactly this).
+ *
+ * Two artifacts come out of a traced run:
+ *
+ *  - toJson()/writeFile(): a deterministic Chrome trace-event JSON
+ *    (loads in Perfetto / chrome://tracing) with one async track per
+ *    core's in-flight requests and one process per device channel
+ *    (bus bursts, per-bank ACT/CAS instants, queue-depth counters);
+ *  - registerMetrics(): per-request-class latency histograms
+ *    (p50/p95/p99) and per-phase mean breakdowns under `txn.*`, which
+ *    flow into run reports like any other metric.
+ *
+ * Determinism: ids and sequence numbers are assigned in emission
+ * order, all containers iterate in id order, and timestamps are
+ * simulation cycles — the export is a pure function of the run.
+ */
+
+#ifndef ACCORD_COMMON_TRACE_EVENT_TRACER_HPP
+#define ACCORD_COMMON_TRACE_EVENT_TRACER_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics/registry.hpp"
+#include "common/stats.hpp"
+#include "common/trace_event/trace_event.hpp"
+#include "common/types.hpp"
+
+namespace accord::trace_event
+{
+
+/** Per-request-class latency attribution (registered under txn.*). */
+struct ClassStats
+{
+    /** End-to-end latency, cycles (64-cycle buckets up to 64K). */
+    Histogram latency{1024, 64};
+
+    /** Mean per-phase breakdown of completed transactions. */
+    Average dramQueue;    ///< waiting in stacked-DRAM channel queues
+    Average dramService;  ///< scheduled -> data end on stacked DRAM
+    Average nvmQueue;     ///< waiting in NVM channel queues
+    Average nvmService;   ///< scheduled -> data end on NVM
+    Average other;        ///< remainder (controller think time, gaps)
+};
+
+/** Ring-buffered transaction tracer. */
+class Tracer
+{
+  public:
+    explicit Tracer(TracerConfig config);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    // --- wiring ---------------------------------------------------
+
+    /**
+     * Register one device channel as a trace track; returns the track
+     * id the channel passes back with every burst() call.  Call once
+     * per channel at attach time, in channel order.
+     */
+    std::int32_t registerDeviceTrack(Device device, unsigned channel);
+
+    // --- transaction lifecycle (instrumentation sites) ------------
+
+    /** Start a transaction; returns its id (never kNoTxn). */
+    TxnId begin(TxnKind kind, unsigned core, LineAddr line, Cycle now);
+
+    void phaseBegin(TxnId txn, Phase phase, Cycle now);
+    void phaseEnd(TxnId txn, Phase phase, Cycle now);
+
+    /** Record an instantaneous marker. */
+    void point(TxnId txn, Point point, Cycle now,
+               std::uint64_t arg = 0);
+
+    /**
+     * Record one device burst serving this transaction.  `actAt` is
+     * invalidCycle when the access hit the open row (no activate).
+     * Queue wait is pickedAt - enqueuedAt; service is
+     * dataEnd - pickedAt.
+     */
+    void burst(TxnId txn, std::int32_t track, unsigned bank,
+               std::uint64_t row, bool isWrite, bool rowHit,
+               Cycle enqueuedAt, Cycle pickedAt, Cycle actAt,
+               Cycle casAt, Cycle dataStart, Cycle dataEnd,
+               std::size_t readDepth, std::size_t writeDepth);
+
+    /**
+     * Complete a transaction: classify it, fold its latency and phase
+     * breakdown into the txn.* metrics, and evict the oldest
+     * completed transaction(s) beyond the ring cap.
+     */
+    void complete(TxnId txn, RequestClass cls, Cycle now);
+
+    // --- introspection (tests, analyzers) -------------------------
+
+    const TracerConfig &config() const { return config_; }
+
+    /** Transactions begun since construction. */
+    std::uint64_t beganCount() const { return last_id_; }
+
+    /** Completed transactions still retained, oldest first. */
+    std::vector<const TxnRecord *> completedRecords() const;
+
+    /** Transactions begun but not yet completed. */
+    std::size_t openCount() const { return open_count_; }
+
+    /** Completed transactions evicted by the ring cap. */
+    std::uint64_t evictedCount() const { return evicted_; }
+
+    /** Events that arrived for an already-evicted transaction. */
+    std::uint64_t droppedEvents() const { return dropped_events_; }
+
+    /** Record for a retained transaction, or nullptr. */
+    const TxnRecord *find(TxnId txn) const;
+
+    /** Attribution stats for one request class. */
+    const ClassStats &classStats(RequestClass cls) const;
+
+    // --- artifacts ------------------------------------------------
+
+    /**
+     * Register the per-class latency histograms and phase-breakdown
+     * averages under `prefix` (typically "txn"):
+     * txn.<class>.latency.{count,mean,p50,p95,p99} and
+     * txn.<class>.phase.{dram_queue,dram_service,nvm_queue,
+     * nvm_service,other}.{count,mean,min,max}.
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /**
+     * Chrome trace-event JSON of every retained *completed*
+     * transaction (open transactions are excluded so begin/end pairs
+     * always balance; their count is reported in the metadata).
+     */
+    std::string toJson() const;
+
+    /** Write `text` (normally toJson()) to this tracer's path. */
+    void writeFile(const std::string &text) const;
+
+  private:
+    struct TrackInfo
+    {
+        Device device = Device::Dram;
+        unsigned channel = 0;
+    };
+
+    TxnRecord *lookup(TxnId txn);
+    Event &append(TxnRecord &record, EventKind kind, Cycle tick);
+
+    TracerConfig config_;
+    std::vector<TrackInfo> tracks_;
+
+    /** All retained transactions, keyed (and iterated) by id. */
+    std::map<TxnId, TxnRecord> txns_;
+
+    /** Completion order, for ring eviction. */
+    std::deque<TxnId> completed_order_;
+
+    std::array<ClassStats, kNumClasses> class_stats_;
+
+    TxnId last_id_ = kNoTxn;
+    std::uint64_t next_seq_ = 0;
+    std::size_t open_count_ = 0;
+    std::uint64_t evicted_ = 0;
+    std::uint64_t dropped_events_ = 0;
+};
+
+} // namespace accord::trace_event
+
+#endif // ACCORD_COMMON_TRACE_EVENT_TRACER_HPP

@@ -27,6 +27,7 @@ Bank::serve(Cycle now, std::uint64_t row, bool is_write,
             result.rowConflict = true;
         }
         act_at = act_start;
+        result.actAt = act_start;
         open_row = row;
         cas_at = act_start + p.tRcd;
     }

@@ -34,6 +34,9 @@ class Bank
         /** Cycle the column command issues (CAS). */
         Cycle casAt;
 
+        /** Cycle the activate issued, or invalidCycle on a row hit. */
+        Cycle actAt = invalidCycle;
+
         /** True if the access hit the open row buffer. */
         bool rowHit;
 

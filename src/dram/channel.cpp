@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/trace_event/tracer.hpp"
 
 namespace accord::dram
 {
@@ -92,6 +93,14 @@ Channel::issue(std::deque<MemOp> &queue, std::size_t index)
     } else {
         stats_.readsServed.inc();
         stats_.readLatency.sample(static_cast<double>(latency));
+    }
+
+    if (tracer_ != nullptr && op.txn != 0) {
+        tracer_->burst(op.txn, track_, op.loc.bank, op.loc.row,
+                       op.isWrite, served.rowHit, op.enqueuedAt, now,
+                       served.actAt, served.casAt, data_start,
+                       data_end, read_queue.size(),
+                       write_queue.size());
     }
 
     ++in_flight;

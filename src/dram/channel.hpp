@@ -23,6 +23,11 @@
 #include "dram/mem_op.hpp"
 #include "dram/timing.hpp"
 
+namespace accord::trace_event
+{
+class Tracer;
+}
+
 namespace accord::dram
 {
 
@@ -74,9 +79,16 @@ class Channel
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
 
-    /** @deprecated Mutate via resetStats(); read via stats(). */
-    [[deprecated("use stats() for reads and resetStats() to clear")]]
-    ChannelStats &mutableStats() { return stats_; }
+    /**
+     * Attach a transaction tracer; `track` is this channel's track id
+     * from Tracer::registerDeviceTrack().  Every issued op whose txn
+     * id is non-zero then emits a burst record.
+     */
+    void attachTracer(trace_event::Tracer *tracer, std::int32_t track)
+    {
+        tracer_ = tracer;
+        track_ = track;
+    }
 
   private:
     /** Scheduler entry point; issues at most one request. */
@@ -119,6 +131,11 @@ class Channel
     /** Number of ops issued but not yet completed. */
     unsigned in_flight = 0;
 
+    /** Transaction tracer (null when tracing is off). */
+    trace_event::Tracer *tracer_ = nullptr;
+
+    /** This channel's tracer track id. */
+    std::int32_t track_ = -1;
 
     ChannelStats stats_;
 };

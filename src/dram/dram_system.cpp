@@ -2,6 +2,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "common/trace_event/tracer.hpp"
 
 namespace accord::dram
 {
@@ -50,12 +51,13 @@ DramSystem::mapLine(LineAddr line) const
 
 void
 DramSystem::accessLine(LineAddr line, bool is_write,
-                       MemCallback on_complete)
+                       MemCallback on_complete, trace_event::TxnId txn)
 {
     MemOp op;
     op.loc = mapLine(line);
     op.isWrite = is_write;
     op.onComplete = std::move(on_complete);
+    op.txn = txn;
     enqueue(std::move(op));
 }
 
@@ -101,6 +103,17 @@ DramSystem::resetStats()
 {
     for (const auto &ch : channels)
         ch->resetStats();
+}
+
+void
+DramSystem::attachTracer(trace_event::Tracer &tracer,
+                         trace_event::Device device)
+{
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        channels[i]->attachTracer(
+            &tracer, tracer.registerDeviceTrack(
+                         device, static_cast<unsigned>(i)));
+    }
 }
 
 void

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/trace_event/trace_event.hpp"
 #include "dram/channel.hpp"
 #include "dram/mem_op.hpp"
 #include "dram/timing.hpp"
@@ -48,7 +49,8 @@ class DramSystem
     void enqueue(MemOp op);
 
     /** Convenience: read/write a line by interleaved address mapping. */
-    void accessLine(LineAddr line, bool is_write, MemCallback on_complete);
+    void accessLine(LineAddr line, bool is_write, MemCallback on_complete,
+                    trace_event::TxnId txn = trace_event::kNoTxn);
 
     /**
      * Map a line address to physical coordinates: channel bits lowest
@@ -80,9 +82,13 @@ class DramSystem
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
 
-    /** @deprecated Channels are internal; mutate via resetStats(). */
-    [[deprecated("use channel(i) for reads and resetStats() to clear")]]
-    Channel &mutableChannel(unsigned i) { return *channels.at(i); }
+    /**
+     * Attach a transaction tracer: registers one device track per
+     * channel (in channel order, for deterministic track ids) and
+     * points every channel at it.
+     */
+    void attachTracer(trace_event::Tracer &tracer,
+                      trace_event::Device device);
 
   private:
     TimingParams params_;

@@ -55,6 +55,12 @@ struct MemOp
     /** Cycle the op entered the device queue (set by the device). */
     Cycle enqueuedAt = 0;
 
+    /**
+     * Owning transaction for trace attribution (trace_event::TxnId);
+     * 0 = untraced.  Raw integer so this header stays dependency-free.
+     */
+    std::uint64_t txn = 0;
+
     /** Invoked when the data transfer completes; may be empty. */
     MemCallback onComplete;
 };

@@ -7,6 +7,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/trace_event/tracer.hpp"
 #include "core/predictors.hpp"
 #include "dramcache/audit.hpp"
 
@@ -92,6 +93,9 @@ struct DramCacheController::ReadTxn
     core::LineRef ref;
     ReadDone done;
     Cycle start = 0;
+
+    /** Trace transaction of this read (kNoTxn when untraced). */
+    trace_event::TxnId trace = trace_event::kNoTxn;
 
     /** Probe order (Serial/Predicted) or issue order (Parallel). */
     std::array<unsigned, 64> order{};
@@ -359,7 +363,8 @@ DramCacheController::unsteeredVictim(const core::LineRef &ref)
 
 void
 DramCacheController::touchReplacement(const core::LineRef &ref,
-                                      unsigned way, bool timed)
+                                      unsigned way, bool timed,
+                                      trace_event::TxnId txn)
 {
     if (params.replacement != L4Replacement::Lru)
         return;
@@ -369,7 +374,7 @@ DramCacheController::touchReplacement(const core::LineRef &ref,
     stats_.replacementUpdateWrites.inc();
     stats_.cacheWriteTransfers.inc();
     if (timed)
-        issueCacheOp(ref.set, way, true, nullptr);
+        issueCacheOp(ref.set, way, true, nullptr, false, txn);
 }
 
 DramCacheController::InstallResult
@@ -417,14 +422,50 @@ void
 DramCacheController::issueCacheOp(std::uint64_t set, unsigned way,
                                   bool is_write,
                                   dram::MemCallback on_complete,
-                                  bool priority)
+                                  bool priority,
+                                  trace_event::TxnId txn)
 {
     dram::MemOp op;
     op.loc = layout.locate(set, way);
     op.isWrite = is_write;
     op.priority = priority;
     op.onComplete = std::move(on_complete);
+    op.txn = txn;
     hbm_.enqueue(std::move(op));
+}
+
+void
+DramCacheController::attachTracer(trace_event::Tracer &tracer)
+{
+    tracer_ = &tracer;
+    hbm_.attachTracer(tracer, trace_event::Device::Dram);
+}
+
+std::function<dram::MemCallback()>
+DramCacheController::beginFillGroup(trace_event::TxnId parent,
+                                    LineAddr line,
+                                    trace_event::TxnId &fill_txn)
+{
+    fill_txn = trace_event::kNoTxn;
+    if (tracer_ == nullptr || parent == trace_event::kNoTxn)
+        return [] { return dram::MemCallback{}; };
+
+    fill_txn = tracer_->begin(trace_event::TxnKind::Fill,
+                              trace_event::kNoCore, line, eq.now());
+    // All member ops are registered synchronously inside the current
+    // event, so the counter cannot hit zero before the group is fully
+    // built.
+    auto remaining = std::make_shared<unsigned>(0);
+    const trace_event::TxnId id = fill_txn;
+    return [this, id, remaining]() -> dram::MemCallback {
+        ++*remaining;
+        return [this, id, remaining](Cycle when) {
+            if (--*remaining == 0) {
+                tracer_->complete(
+                    id, trace_event::RequestClass::Fill, when);
+            }
+        };
+    };
 }
 
 // --------------------------------------------------------------------
@@ -490,13 +531,14 @@ DramCacheController::warmWriteback(LineAddr line)
 // --------------------------------------------------------------------
 
 void
-DramCacheController::read(LineAddr line, ReadDone done)
+DramCacheController::read(LineAddr line, ReadDone done,
+                          trace_event::TxnId trace)
 {
 #if ACCORD_CHECKS_ENABLED
     maybeAudit();
 #endif
     if (params.org == Organization::ColumnAssoc) {
-        readCa(line, std::move(done));
+        readCa(line, std::move(done), trace);
         return;
     }
 
@@ -504,20 +546,31 @@ DramCacheController::read(LineAddr line, ReadDone done)
     txn->ref = core::LineRef::make(line, geom);
     txn->done = std::move(done);
     txn->start = eq.now();
+    txn->trace = tracer_ != nullptr ? trace : trace_event::kNoTxn;
     txn->orderCount = probeOrder(txn->ref, txn->order);
     ++in_flight;
+
+    if (txn->trace != trace_event::kNoTxn) {
+        tracer_->phaseBegin(txn->trace, trace_event::Phase::Lookup,
+                            txn->start);
+    }
 
     if (params.lookup == LookupMode::Ideal) {
         // One magic probe resolves hit and miss alike (Fig 1c bound).
         stats_.cacheReadTransfers.inc();
         stats_.probesPerRead.sample(1.0);
+        if (txn->trace != trace_event::kNoTxn) {
+            tracer_->point(txn->trace,
+                           trace_event::Point::ProbeIssue,
+                           eq.now(), 0);
+        }
         issueCacheOp(txn->ref.set, 0, false, [this, txn](Cycle when) {
             const int way = tags.findWay(txn->ref.set, txn->ref.tag);
             if (way >= 0)
                 finishHit(txn, static_cast<unsigned>(way), 0, when);
             else
                 missConfirmed(txn, when);
-        });
+        }, false, txn->trace);
         return;
     }
 
@@ -533,6 +586,11 @@ DramCacheController::read(LineAddr line, ReadDone done)
             static_cast<double>(txn->orderCount));
         for (unsigned i = 0; i < txn->orderCount; ++i) {
             stats_.cacheReadTransfers.inc();
+            if (txn->trace != trace_event::kNoTxn) {
+                tracer_->point(txn->trace,
+                               trace_event::Point::ProbeIssue,
+                               eq.now(), txn->order[i]);
+            }
             issueCacheOp(txn->ref.set, txn->order[i], false,
                          [this, txn](Cycle when) {
                 ++txn->parallelArrived;
@@ -545,7 +603,7 @@ DramCacheController::read(LineAddr line, ReadDone done)
                            && txn->parallelArrived == txn->orderCount) {
                     missConfirmed(txn, when);
                 }
-            });
+            }, false, txn->trace);
         }
         return;
     }
@@ -559,10 +617,14 @@ DramCacheController::issueProbe(const std::shared_ptr<ReadTxn> &txn,
                                 unsigned index)
 {
     stats_.cacheReadTransfers.inc();
+    if (txn->trace != trace_event::kNoTxn) {
+        tracer_->point(txn->trace, trace_event::Point::ProbeIssue,
+                       eq.now(), txn->order[index]);
+    }
     issueCacheOp(txn->ref.set, txn->order[index], false,
                  [this, txn, index](Cycle when) {
         probeDone(txn, index, when);
-    }, /* priority */ index > 0);
+    }, /* priority */ index > 0, txn->trace);
 }
 
 void
@@ -594,42 +656,81 @@ DramCacheController::finishHit(const std::shared_ptr<ReadTxn> &txn,
     stats_.readHitLatency.sample(static_cast<double>(when - txn->start));
     if (policy_)
         policy_->onHit(txn->ref, way);
-    touchReplacement(txn->ref, way, /* timed */ true);
+    touchReplacement(txn->ref, way, /* timed */ true, txn->trace);
     dcp.record(txn->ref.line, way);
     --in_flight;
+    if (txn->trace != trace_event::kNoTxn) {
+        tracer_->point(txn->trace,
+                       probe_index == 0
+                           ? trace_event::Point::PredictCorrect
+                           : trace_event::Point::PredictWrong,
+                       when, way);
+        tracer_->phaseEnd(txn->trace, trace_event::Phase::Lookup,
+                          when);
+        tracer_->complete(
+            txn->trace,
+            probe_index == 0
+                ? trace_event::RequestClass::HitPredict
+                : trace_event::RequestClass::HitMispredict,
+            when);
+    }
     if (txn->done)
         txn->done(true, when);
 }
 
 void
 DramCacheController::missConfirmed(const std::shared_ptr<ReadTxn> &txn,
-                                   Cycle /* when */)
+                                   Cycle when)
 {
     stats_.readHits.miss();
     if (policy_)
         policy_->onMiss(txn->ref);
     stats_.nvmReads.inc();
 
+    if (txn->trace != trace_event::kNoTxn) {
+        tracer_->point(txn->trace, trace_event::Point::MissConfirm,
+                       when);
+        tracer_->phaseEnd(txn->trace, trace_event::Phase::Lookup,
+                          when);
+        tracer_->phaseBegin(txn->trace, trace_event::Phase::Nvm,
+                            when);
+    }
+
     nvm.readLine(txn->ref.line, [this, txn](Cycle nvm_done) {
         stats_.readMissLatency.sample(
             static_cast<double>(nvm_done - txn->start));
         --in_flight;
+        if (txn->trace != trace_event::kNoTxn) {
+            tracer_->phaseEnd(txn->trace, trace_event::Phase::Nvm,
+                              nvm_done);
+            tracer_->complete(txn->trace,
+                              trace_event::RequestClass::Miss,
+                              nvm_done);
+        }
         if (txn->done)
             txn->done(false, nvm_done);
 
         // Fill off the critical path: functional install now, the
-        // array write and any victim writeback are posted.
+        // array write and any victim writeback are posted.  The fill
+        // becomes its own trace transaction (the demand read already
+        // completed) grouped over its array write and any victim
+        // writeback.
+        trace_event::TxnId fill_txn = trace_event::kNoTxn;
+        auto member =
+            beginFillGroup(txn->trace, txn->ref.line, fill_txn);
         const InstallResult fill = installLine(txn->ref);
-        issueCacheOp(txn->ref.set, fill.way, true, nullptr);
+        issueCacheOp(txn->ref.set, fill.way, true, member(), false,
+                     fill_txn);
         if (fill.victimDirty)
-            nvm.writeLine(fill.victimLine);
-    });
+            nvm.writeLine(fill.victimLine, member(), fill_txn);
+    }, txn->trace);
 }
 
 void
-DramCacheController::writeback(LineAddr line)
+DramCacheController::writeback(LineAddr line, trace_event::TxnId txn)
 {
-    writebackCommon(line, /* timed */ true);
+    writebackCommon(line, /* timed */ true,
+                    tracer_ != nullptr ? txn : trace_event::kNoTxn);
 }
 
 // --------------------------------------------------------------------
@@ -637,9 +738,24 @@ DramCacheController::writeback(LineAddr line)
 // --------------------------------------------------------------------
 
 void
-DramCacheController::writebackCommon(LineAddr line, bool timed)
+DramCacheController::writebackCommon(LineAddr line, bool timed,
+                                     trace_event::TxnId txn)
 {
     const bool is_ca = params.org == Organization::ColumnAssoc;
+
+    // The transaction completes when its routed data write finishes
+    // (straggling locate probes only add device events).
+    dram::MemCallback complete_cb;
+    if (txn != trace_event::kNoTxn) {
+        complete_cb = [this, txn](Cycle when) {
+            tracer_->complete(
+                txn, trace_event::RequestClass::Writeback, when);
+        };
+    }
+    const auto route_point = [this, txn](trace_event::Point point) {
+        if (txn != trace_event::kNoTxn)
+            tracer_->point(txn, point, eq.now());
+    };
 
     if (params.dcpWayBits) {
         const auto dcp_way = dcp.lookup(line);
@@ -669,13 +785,18 @@ DramCacheController::writebackCommon(LineAddr line, bool timed)
             tags.markDirty(set, way);
             stats_.cacheWriteTransfers.inc();
             stats_.writebacksToCache.inc();
-            if (timed)
-                issueCacheOp(set, way, true, nullptr);
+            if (timed) {
+                route_point(trace_event::Point::RoutedToCache);
+                issueCacheOp(set, way, true, std::move(complete_cb),
+                             false, txn);
+            }
         } else {
             stats_.nvmWrites.inc();
             stats_.writebacksToNvm.inc();
-            if (timed)
-                nvm.writeLine(line);
+            if (timed) {
+                route_point(trace_event::Point::RoutedToNvm);
+                nvm.writeLine(line, std::move(complete_cb), txn);
+            }
         }
         return;
     }
@@ -698,19 +819,24 @@ DramCacheController::writebackCommon(LineAddr line, bool timed)
         if (timed) {
             for (unsigned i = 0; i < probes; ++i)
                 issueCacheOp(i == 0 ? primary : secondary, 0, false,
-                             nullptr);
+                             nullptr, false, txn);
         }
         if (present) {
             tags.markDirty(target, 0);
             stats_.cacheWriteTransfers.inc();
             stats_.writebacksToCache.inc();
-            if (timed)
-                issueCacheOp(target, 0, true, nullptr);
+            if (timed) {
+                route_point(trace_event::Point::RoutedToCache);
+                issueCacheOp(target, 0, true, std::move(complete_cb),
+                             false, txn);
+            }
         } else {
             stats_.nvmWrites.inc();
             stats_.writebacksToNvm.inc();
-            if (timed)
-                nvm.writeLine(line);
+            if (timed) {
+                route_point(trace_event::Point::RoutedToNvm);
+                nvm.writeLine(line, std::move(complete_cb), txn);
+            }
         }
         return;
     }
@@ -733,21 +859,26 @@ DramCacheController::writebackCommon(LineAddr line, bool timed)
     stats_.writebackProbeTransfers.inc(probes);
     if (timed) {
         for (unsigned i = 0; i < probes; ++i)
-            issueCacheOp(ref.set, order[i], false, nullptr);
+            issueCacheOp(ref.set, order[i], false, nullptr, false,
+                         txn);
     }
 
     if (way >= 0) {
         tags.markDirty(ref.set, static_cast<unsigned>(way));
         stats_.cacheWriteTransfers.inc();
         stats_.writebacksToCache.inc();
-        if (timed)
+        if (timed) {
+            route_point(trace_event::Point::RoutedToCache);
             issueCacheOp(ref.set, static_cast<unsigned>(way), true,
-                         nullptr);
+                         std::move(complete_cb), false, txn);
+        }
     } else {
         stats_.nvmWrites.inc();
         stats_.writebacksToNvm.inc();
-        if (timed)
-            nvm.writeLine(line);
+        if (timed) {
+            route_point(trace_event::Point::RoutedToNvm);
+            nvm.writeLine(line, std::move(complete_cb), txn);
+        }
     }
 }
 
@@ -808,8 +939,14 @@ DramCacheController::caSwap(std::uint64_t primary,
 
 void
 DramCacheController::caInstall(LineAddr line, std::uint64_t primary,
-                               std::uint64_t secondary, bool timed)
+                               std::uint64_t secondary, bool timed,
+                               trace_event::TxnId parent)
 {
+    // The posted install is one Fill trace transaction spanning the
+    // relocation write, any victim writeback, and the fill write.
+    trace_event::TxnId fill_txn = trace_event::kNoTxn;
+    auto member = beginFillGroup(parent, line, fill_txn);
+
     // Displace the primary occupant to the secondary slot, evicting
     // whatever lived there; the new line always lands at primary.
     const bool old_valid = tags.valid(primary, 0);
@@ -820,7 +957,8 @@ DramCacheController::caInstall(LineAddr line, std::uint64_t primary,
             tags.install(secondary, 0, old_line, old_dirty);
         stats_.cacheWriteTransfers.inc();   // the relocation write
         if (timed)
-            issueCacheOp(secondary, 0, true, nullptr);
+            issueCacheOp(secondary, 0, true, member(), false,
+                         fill_txn);
         dcp.record(old_line,
                    primarySlot(old_line) == secondary ? 0u : 1u);
         if (evicted.valid) {
@@ -828,7 +966,7 @@ DramCacheController::caInstall(LineAddr line, std::uint64_t primary,
             if (evicted.dirty) {
                 stats_.nvmWrites.inc();
                 if (timed)
-                    nvm.writeLine(evicted.tag);
+                    nvm.writeLine(evicted.tag, member(), fill_txn);
             }
         }
     }
@@ -836,7 +974,7 @@ DramCacheController::caInstall(LineAddr line, std::uint64_t primary,
     tags.install(primary, 0, line, false);
     stats_.cacheWriteTransfers.inc();       // the fill write
     if (timed)
-        issueCacheOp(primary, 0, true, nullptr);
+        issueCacheOp(primary, 0, true, member(), false, fill_txn);
     dcp.record(line, 0);
 }
 
@@ -871,7 +1009,8 @@ DramCacheController::warmReadCa(LineAddr line)
 }
 
 void
-DramCacheController::readCa(LineAddr line, ReadDone done)
+DramCacheController::readCa(LineAddr line, ReadDone done,
+                            trace_event::TxnId trace)
 {
     struct CaTxn
     {
@@ -880,6 +1019,7 @@ DramCacheController::readCa(LineAddr line, ReadDone done)
         std::uint64_t secondary;
         ReadDone done;
         Cycle start;
+        trace_event::TxnId trace;
     };
 
     auto txn = std::make_shared<CaTxn>();
@@ -888,7 +1028,15 @@ DramCacheController::readCa(LineAddr line, ReadDone done)
     txn->secondary = pairSlot(txn->primary);
     txn->done = std::move(done);
     txn->start = eq.now();
+    txn->trace = tracer_ != nullptr ? trace : trace_event::kNoTxn;
     ++in_flight;
+
+    if (txn->trace != trace_event::kNoTxn) {
+        tracer_->phaseBegin(txn->trace, trace_event::Phase::Lookup,
+                            txn->start);
+        tracer_->point(txn->trace, trace_event::Point::ProbeIssue,
+                       txn->start, 0);
+    }
 
     auto finish_hit = [this, txn](bool first_probe, Cycle when) {
         stats_.readHits.hit();
@@ -897,6 +1045,21 @@ DramCacheController::readCa(LineAddr line, ReadDone done)
         stats_.readHitLatency.sample(
             static_cast<double>(when - txn->start));
         --in_flight;
+        if (txn->trace != trace_event::kNoTxn) {
+            tracer_->point(txn->trace,
+                           first_probe
+                               ? trace_event::Point::PredictCorrect
+                               : trace_event::Point::PredictWrong,
+                           when, first_probe ? 0 : 1);
+            tracer_->phaseEnd(txn->trace,
+                              trace_event::Phase::Lookup, when);
+            tracer_->complete(
+                txn->trace,
+                first_probe
+                    ? trace_event::RequestClass::HitPredict
+                    : trace_event::RequestClass::HitMispredict,
+                when);
+        }
         if (txn->done)
             txn->done(true, when);
     };
@@ -910,30 +1073,53 @@ DramCacheController::readCa(LineAddr line, ReadDone done)
             return;
         }
         stats_.cacheReadTransfers.inc();
+        if (txn->trace != trace_event::kNoTxn) {
+            tracer_->point(txn->trace,
+                           trace_event::Point::ProbeIssue, when, 1);
+        }
         issueCacheOp(txn->secondary, 0, false,
                      [this, txn, finish_hit](Cycle when2) {
             if (slotHolds(txn->secondary, txn->line)) {
                 finish_hit(false, when2);
                 // Swap-to-primary off the critical path.
                 caSwap(txn->primary, txn->secondary);
-                issueCacheOp(txn->primary, 0, true, nullptr);
-                issueCacheOp(txn->secondary, 0, true, nullptr);
+                issueCacheOp(txn->primary, 0, true, nullptr, false,
+                             txn->trace);
+                issueCacheOp(txn->secondary, 0, true, nullptr, false,
+                             txn->trace);
                 return;
             }
             stats_.readHits.miss();
             stats_.probesPerRead.sample(2.0);
             stats_.nvmReads.inc();
+            if (txn->trace != trace_event::kNoTxn) {
+                tracer_->point(txn->trace,
+                               trace_event::Point::MissConfirm,
+                               when2);
+                tracer_->phaseEnd(txn->trace,
+                                  trace_event::Phase::Lookup, when2);
+                tracer_->phaseBegin(txn->trace,
+                                    trace_event::Phase::Nvm, when2);
+            }
             nvm.readLine(txn->line, [this, txn](Cycle nvm_done) {
                 stats_.readMissLatency.sample(
                     static_cast<double>(nvm_done - txn->start));
                 --in_flight;
+                if (txn->trace != trace_event::kNoTxn) {
+                    tracer_->phaseEnd(txn->trace,
+                                      trace_event::Phase::Nvm,
+                                      nvm_done);
+                    tracer_->complete(
+                        txn->trace, trace_event::RequestClass::Miss,
+                        nvm_done);
+                }
                 if (txn->done)
                     txn->done(false, nvm_done);
                 caInstall(txn->line, txn->primary, txn->secondary,
-                          /* timed */ true);
-            });
-        }, /* priority */ true);
-    });
+                          /* timed */ true, txn->trace);
+            }, txn->trace);
+        }, /* priority */ true, txn->trace);
+    }, false, txn->trace);
 }
 
 void

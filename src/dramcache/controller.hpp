@@ -40,12 +40,18 @@
 #include "common/metrics/registry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/trace_event/trace_event.hpp"
 #include "core/way_policy.hpp"
 #include "dram/dram_system.hpp"
 #include "dramcache/dcp.hpp"
 #include "dramcache/layout.hpp"
 #include "dramcache/tag_store.hpp"
 #include "nvm/nvm_system.hpp"
+
+namespace accord::trace_event
+{
+class Tracer;
+}
 
 namespace accord::dramcache
 {
@@ -181,11 +187,18 @@ class DramCacheController
 
     // --- timed path -----------------------------------------------
 
-    /** Timed demand read (L3 miss). */
-    void read(LineAddr line, ReadDone done);
+    /**
+     * Timed demand read (L3 miss).  `txn` is the caller's trace
+     * transaction (kNoTxn when tracing is off); the controller emits
+     * lookup/NVM phases and prediction-outcome points into it and
+     * completes it with its request class.
+     */
+    void read(LineAddr line, ReadDone done,
+              trace_event::TxnId txn = trace_event::kNoTxn);
 
     /** Timed writeback (dirty L3 eviction); posted. */
-    void writeback(LineAddr line);
+    void writeback(LineAddr line,
+                   trace_event::TxnId txn = trace_event::kNoTxn);
 
     // --- functional path ------------------------------------------
 
@@ -213,9 +226,12 @@ class DramCacheController
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
 
-    /** @deprecated Read via stats(); mutation is a controller detail. */
-    [[deprecated("use stats() for reads and resetStats() to clear")]]
-    DramCacheStats &mutableStats() { return stats_; }
+    /**
+     * Attach a transaction tracer: the stacked-DRAM device registers
+     * its channel tracks and the controller starts emitting lifecycle
+     * events for every traced transaction it is handed.
+     */
+    void attachTracer(trace_event::Tracer &tracer);
 
     const core::CacheGeometry &geometry() const { return geom; }
     const TagStore &tagStore() const { return tags; }
@@ -277,12 +293,24 @@ class DramCacheController
      * in-DRAM replacement-state write (timed path issues it too).
      */
     void touchReplacement(const core::LineRef &ref, unsigned way,
-                          bool timed);
+                          bool timed,
+                          trace_event::TxnId txn = trace_event::kNoTxn);
 
     /** Issue a timed read/write of one way unit of a set. */
     void issueCacheOp(std::uint64_t set, unsigned way, bool is_write,
                       dram::MemCallback on_complete,
-                      bool priority = false);
+                      bool priority = false,
+                      trace_event::TxnId txn = trace_event::kNoTxn);
+
+    /**
+     * Start a posted Fill trace transaction (kNoTxn when the parent
+     * read is untraced) and return a completion callback factory: each
+     * call registers one member op, and the transaction completes when
+     * the last member finishes.
+     */
+    std::function<dram::MemCallback()>
+    beginFillGroup(trace_event::TxnId parent, LineAddr line,
+                   trace_event::TxnId &fill_txn);
 
     // Timed transaction state.
     struct ReadTxn;
@@ -299,12 +327,14 @@ class DramCacheController
     bool slotHolds(std::uint64_t slot, LineAddr line) const;
     void caSwap(std::uint64_t primary, std::uint64_t secondary);
     void caInstall(LineAddr line, std::uint64_t primary,
-                   std::uint64_t secondary, bool timed);
+                   std::uint64_t secondary, bool timed,
+                   trace_event::TxnId parent = trace_event::kNoTxn);
     bool warmReadCa(LineAddr line);
-    void readCa(LineAddr line, ReadDone done);
+    void readCa(LineAddr line, ReadDone done, trace_event::TxnId txn);
 
     // Writeback helpers shared by both paths.
-    void writebackCommon(LineAddr line, bool timed);
+    void writebackCommon(LineAddr line, bool timed,
+                         trace_event::TxnId txn = trace_event::kNoTxn);
 
     /** Count down to the next periodic self-audit and run it. */
     void maybeAudit();
@@ -327,6 +357,9 @@ class DramCacheController
     Rng install_rng;
     std::uint64_t ca_pair_mask = 0;
     unsigned in_flight = 0;
+
+    /** Transaction tracer (null when tracing is off). */
+    trace_event::Tracer *tracer_ = nullptr;
 
     /** Per-line recency stamps for the LRU ablation (empty if unused). */
     std::vector<std::uint64_t> lru_stamps;

@@ -37,18 +37,20 @@ class NvmSystem
 
     /** Read a line; callback fires when data returns. */
     void
-    readLine(LineAddr line, dram::MemCallback on_complete)
+    readLine(LineAddr line, dram::MemCallback on_complete,
+             trace_event::TxnId txn = trace_event::kNoTxn)
     {
         reads_.inc();
-        device.accessLine(line, false, std::move(on_complete));
+        device.accessLine(line, false, std::move(on_complete), txn);
     }
 
     /** Write a line (posted; callback optional). */
     void
-    writeLine(LineAddr line, dram::MemCallback on_complete = nullptr)
+    writeLine(LineAddr line, dram::MemCallback on_complete = nullptr,
+              trace_event::TxnId txn = trace_event::kNoTxn)
     {
         writes_.inc();
-        device.accessLine(line, true, std::move(on_complete));
+        device.accessLine(line, true, std::move(on_complete), txn);
     }
 
     bool idle() const { return device.idle(); }
@@ -75,6 +77,13 @@ class NvmSystem
         registry.addCounter(MetricRegistry::join(prefix, "writes"),
                             writes_);
         device.registerMetrics(registry, prefix);
+    }
+
+    /** Attach a tracer: one NVM track per underlying channel. */
+    void
+    attachTracer(trace_event::Tracer &tracer)
+    {
+        device.attachTracer(tracer, trace_event::Device::Nvm);
     }
 
   private:

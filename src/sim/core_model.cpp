@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/trace_event/tracer.hpp"
 
 namespace accord::sim
 {
@@ -46,16 +47,26 @@ CoreModel::tryIssue()
         // posted and do not consume an MSHR or pacing slot.
         trace::L4Access access = stream.next();
         while (access.isWriteback) {
-            cache.writeback(access.line);
+            trace_event::TxnId wb = trace_event::kNoTxn;
+            if (tracer_ != nullptr) {
+                wb = tracer_->begin(trace_event::TxnKind::Writeback,
+                                    id_, access.line, eq.now());
+            }
+            cache.writeback(access.line, wb);
             access = stream.next();
         }
 
         ++issued;
         ++outstanding;
         next_ready = std::max(eq.now(), next_ready) + gap_cycles;
+        trace_event::TxnId txn = trace_event::kNoTxn;
+        if (tracer_ != nullptr) {
+            txn = tracer_->begin(trace_event::TxnKind::Read, id_,
+                                 access.line, eq.now());
+        }
         cache.read(access.line, [this](bool, Cycle when) {
             onReadDone(when);
-        });
+        }, txn);
     }
 }
 

@@ -87,6 +87,10 @@ class CoreModel
 
     unsigned id() const { return id_; }
 
+    /** Trace demand reads/writebacks issued by this core (may be
+     *  null; set before start()). */
+    void setTracer(trace_event::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     void tryIssue();
     void onReadDone(Cycle when);
@@ -105,6 +109,9 @@ class CoreModel
     std::uint64_t completed = 0;
     unsigned outstanding = 0;
     bool issue_scheduled = false;
+
+    /** Transaction tracer (null when tracing is off). */
+    trace_event::Tracer *tracer_ = nullptr;
 };
 
 } // namespace accord::sim

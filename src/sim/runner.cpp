@@ -46,6 +46,8 @@ applyCliOverrides(SystemConfig &config, const Config &cli)
     config.jobs =
         static_cast<unsigned>(cli.getUint("jobs", config.jobs));
     config.epochEvery = cli.getUint("epoch", config.epochEvery);
+    config.tracePath = cli.getString("trace", config.tracePath);
+    config.traceCap = cli.getUint("trace_cap", config.traceCap);
 }
 
 std::string

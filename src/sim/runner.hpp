@@ -36,6 +36,10 @@ double weightedSpeedup(const SystemMetrics &config,
  * full=1 (full sets scale=1: paper-sized 4GB cache and footprints).
  * jobs= sets the sweep worker count (0 = all hardware threads,
  * jobs=1 = the historical serial path); results never depend on it.
+ * trace= writes a Chrome trace-event JSON of the timed phase and
+ * trace_cap= bounds its ring buffer; like jobs=, tracing never
+ * changes simulation results (and so stays out of the canonical
+ * config spec).
  */
 void applyCliOverrides(SystemConfig &config, const Config &cli);
 

@@ -25,6 +25,18 @@ SweepRunner::SweepRunner(const Config &cli)
 {
 }
 
+std::string
+perRunTracePath(const std::string &path, std::size_t index)
+{
+    const std::string suffix = ".run" + std::to_string(index);
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.find_last_of("/\\");
+    if (dot == std::string::npos
+        || (slash != std::string::npos && dot < slash))
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 std::vector<SystemMetrics>
 SweepRunner::runConfigs(const std::vector<SystemConfig> &configs) const
 {
@@ -39,7 +51,13 @@ SweepRunner::runConfigs(const std::vector<SystemConfig> &configs) const
     for (std::size_t i = 0; i < configs.size(); ++i) {
         futures.push_back(pool.submit([&, i] {
             ScopedLogCapture capture;
-            results[i] = runSystem(configs[i]);
+            SystemConfig config = configs[i];
+            // One trace= applied to a whole batch would have every run
+            // clobber the same file; write one trace per run instead.
+            if (!config.tracePath.empty() && configs.size() > 1)
+                config.tracePath =
+                    perRunTracePath(config.tracePath, i);
+            results[i] = runSystem(config);
             logs[i] = capture.take();
         }));
     }

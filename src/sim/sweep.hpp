@@ -29,6 +29,14 @@ namespace accord::sim
 /** Resolve a jobs= override: 0 means all hardware threads. */
 unsigned resolveJobs(unsigned jobs);
 
+/**
+ * Per-run trace output path for run `index` of a batch: inserts
+ * ".run<index>" before the extension ("out.json" -> "out.run3.json",
+ * "out" -> "out.run3").  Derived from the batch position — never from
+ * scheduling — so paths are identical for any job count.
+ */
+std::string perRunTracePath(const std::string &path, std::size_t index);
+
 /** Timed baseline+config sweep results in bench table layout. */
 struct SweepResult
 {

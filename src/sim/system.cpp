@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/trace_event/tracer.hpp"
 
 namespace accord::sim
 {
@@ -67,6 +68,21 @@ System::System(const SystemConfig &config) : config_(config)
     cache_->registerMetrics(registry_, "l4");
     cache_->hbm().registerMetrics(registry_, "dram");
     nvm->registerMetrics(registry_, "nvm");
+
+    if (!config_.tracePath.empty()) {
+        if (!config_.runTimed)
+            fatal("trace= requires a timed run (the functional path "
+                  "has no cycle timeline)");
+        trace_event::TracerConfig trace_config;
+        trace_config.path = config_.tracePath;
+        trace_config.cap = config_.traceCap;
+        tracer_ = std::make_unique<trace_event::Tracer>(trace_config);
+        cache_->attachTracer(*tracer_);
+        nvm->attachTracer(*tracer_);
+        // txn.* metrics exist only on traced runs, so untraced run
+        // reports keep their baseline key set.
+        tracer_->registerMetrics(registry_, "txn");
+    }
     for (std::size_t core = 0; core < hierarchies.size(); ++core) {
         hierarchies[core]->registerMetrics(
             registry_, "core" + std::to_string(core));
@@ -180,6 +196,7 @@ System::runTimed()
         params.quota = config_.timedPerCore;
         cores.push_back(std::make_unique<CoreModel>(
             core, params, *mixers[core], *cache_, eq));
+        cores.back()->setTracer(tracer_.get());
         cores.back()->registerMetrics(
             registry_, "core" + std::to_string(core));
     }
@@ -243,6 +260,11 @@ System::run()
         }
         m.cycles = last;
         m.energy = computeEnergy(m.hbmStats, m.nvmStats, m.cycles);
+    }
+
+    if (tracer_) {
+        m.traceJson = tracer_->toJson();
+        tracer_->writeFile(m.traceJson);
     }
     return m;
 }

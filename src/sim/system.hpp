@@ -107,6 +107,20 @@ struct SystemConfig
      */
     std::uint64_t epochEvery = 0;
 
+    /**
+     * Write a Chrome trace-event JSON of the timed phase to this path
+     * ("" = tracing off).  Timed runs only — the functional path has
+     * no cycle timeline to trace.  Like jobs=, tracing never changes
+     * simulation results.
+     */
+    std::string tracePath;
+
+    /**
+     * Ring-buffer cap: completed transactions retained in the trace
+     * (0 = keep everything).  See trace_event::TracerConfig.
+     */
+    std::uint64_t traceCap = 0;
+
     std::uint64_t seed = 1;
 
     /** Scaled cache capacity in bytes. */
@@ -137,6 +151,10 @@ struct SystemMetrics
 
     /** Epoch time-series (empty unless SystemConfig::epochEvery). */
     MetricSeries epochs;
+
+    /** The trace JSON written to SystemConfig::tracePath ("" when
+     *  tracing was off). */
+    std::string traceJson;
 };
 
 /** One assembled simulation instance. */
@@ -174,6 +192,7 @@ class System
     MetricRegistry registry_;
     MetricSeries epoch_series_;
     std::uint64_t next_epoch_at_ = 0;
+    std::unique_ptr<trace_event::Tracer> tracer_;
     std::unique_ptr<nvm::NvmSystem> nvm;
     std::unique_ptr<dramcache::DramCacheController> cache_;
 

@@ -1,0 +1,15 @@
+// Lint fixture: wall-clock timestamps inside a trace_event source.
+// Trace ticks must be simulation cycles — any real-time read makes
+// the exported JSON differ between runs.
+// expect: wallclock-trace
+
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+stampEvent()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        now.time_since_epoch().count());
+}

@@ -308,20 +308,17 @@ TEST(ControllerAudit, CleanAfterColumnAssocTraffic)
 
 TEST(ControllerAudit, DetectsCorruptedStats)
 {
-    MiniSystem sys(4, LookupMode::Predicted, "sws");
-    for (std::uint64_t i = 0; i < 1000; ++i)
-        sys->warmRead(i * 41);
-
-    // A phantom NVM read breaks "every miss reads main memory".
-    // Corrupting live counters is exactly what the deprecated mutable
-    // accessor is for; silence the warning for this one test.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    sys->mutableStats().nvmReads.inc();
-#pragma GCC diagnostic pop
+    // Craft a standalone stats block whose counters violate "every
+    // miss reads main memory": one recorded miss, zero NVM reads.
+    // (Controller counters are no longer mutable from outside, so the
+    // stats identities are exercised through the free audit entry
+    // point the controller itself composes.)
+    DramCacheStats stats;
+    stats.readHits.miss();
+    stats.probesPerRead.sample(1.0);
 
     InvariantAuditor auditor;
-    sys->audit(auditor);
+    auditStats(stats, auditor);
     EXPECT_TRUE(auditor.hasRule("stats-miss-fills"))
         << auditor.report();
 }

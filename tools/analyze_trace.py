@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Validate and summarize ACCORD transaction traces (trace=<out>.json).
+
+The simulator's tracer emits Chrome trace-event JSON (Perfetto-loadable)
+with one async span per transaction (``cat: "txn"``, root span named
+after the kind, nested ``lookup``/``nvm`` phase spans) plus device-side
+bursts (``X``), ACT/CAS instants (``i``) and queue-depth counters
+(``C``).  This tool is the offline half of that pipeline:
+
+``--validate``
+    Structural gate, used as a ctest: every ``ts``/``dur`` is an
+    integer sim-cycle, the stream is sorted by timestamp, every
+    transaction's begin/end events balance with proper nesting, phase
+    spans sit inside their root span, and every completed transaction
+    carries a known request class.  Exits 1 with a per-file problem
+    list on any violation.
+
+default report
+    Per-request-class latency statistics (count, mean, p50/p95/p99),
+    a per-class critical-path breakdown (mean cycles in lookup, nvm,
+    and the uncovered remainder), device burst/queue summaries, and
+    the top-N slowest transactions.
+
+Usage:
+    tools/analyze_trace.py trace.json [more.json ...] [--top 10]
+    tools/analyze_trace.py --validate trace.json [more.json ...]
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+CLASSES = ("hit_predict", "hit_mispredict", "miss", "writeback", "fill")
+ROOT_NAMES = ("read", "writeback", "fill")
+PHASE_NAMES = ("lookup", "nvm")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace-event JSON object")
+    return doc
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list (matches the
+    simulator's Histogram.percentile convention)."""
+    if not sorted_values:
+        return 0
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class Txn:
+    __slots__ = ("tid", "begin", "end", "cls", "name", "stack",
+                 "phases", "problems")
+
+    def __init__(self, tid, begin, name):
+        self.tid = tid
+        self.begin = begin
+        self.end = None
+        self.cls = None
+        self.name = name
+        self.stack = [name]
+        self.phases = {}      # phase name -> total cycles
+        self.problems = []
+
+
+def scan(doc, path, problems):
+    """Walk one trace; returns {id: Txn} and the list of X events.
+
+    Appends validation problems (strings) to ``problems`` as it goes —
+    the same pass backs both ``--validate`` and the report, so the
+    report can never disagree with the gate about what a transaction
+    looks like.
+    """
+    txns = {}
+    bursts = []
+    open_phase_begin = {}  # (id, phase name) -> begin ts
+    last_ts = None
+    for n, ev in enumerate(doc["traceEvents"]):
+        where = f"{path}: traceEvents[{n}]"
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: ts {ts!r} is not a sim-cycle "
+                            f"integer")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: ts {ts} < previous {last_ts} "
+                            f"(stream must be time-sorted)")
+        last_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: X dur {dur!r} is not a "
+                                f"non-negative integer")
+            bursts.append(ev)
+            continue
+        if ev.get("cat") != "txn":
+            continue
+        tid = ev.get("id")
+        name = ev.get("name")
+        if ph == "b":
+            if name in ROOT_NAMES:
+                if tid in txns:
+                    problems.append(f"{where}: duplicate root begin "
+                                    f"for txn {tid}")
+                    continue
+                txns[tid] = Txn(tid, ts, name)
+            else:
+                txn = txns.get(tid)
+                if txn is None or not txn.stack:
+                    problems.append(f"{where}: phase '{name}' begins "
+                                    f"outside an open txn {tid}")
+                    continue
+                txn.stack.append(name)
+                open_phase_begin[(tid, name)] = ts
+        elif ph == "e":
+            txn = txns.get(tid)
+            if txn is None or not txn.stack:
+                problems.append(f"{where}: end '{name}' without an "
+                                f"open span on txn {tid}")
+                continue
+            top = txn.stack.pop()
+            if top != name:
+                problems.append(f"{where}: end '{name}' does not "
+                                f"match open span '{top}' on txn "
+                                f"{tid} (bad nesting)")
+                txn.stack.append(top)
+                continue
+            if name in ROOT_NAMES:
+                if txn.stack:
+                    problems.append(f"{where}: txn {tid} root ended "
+                                    f"with open phases {txn.stack}")
+                txn.end = ts
+                txn.cls = (ev.get("args") or {}).get("class")
+                if txn.cls not in CLASSES:
+                    problems.append(f"{where}: txn {tid} completed "
+                                    f"with unknown class "
+                                    f"{txn.cls!r}")
+            else:
+                begin = open_phase_begin.pop((tid, name), None)
+                if begin is not None:
+                    txn.phases[name] = (txn.phases.get(name, 0)
+                                        + ts - begin)
+        elif ph == "n":
+            if tid not in txns:
+                problems.append(f"{where}: instant '{name}' on "
+                                f"unknown txn {tid}")
+    for tid, txn in txns.items():
+        if txn.end is None:
+            problems.append(f"{path}: txn {tid} ('{txn.name}') never "
+                            f"completed; open spans {txn.stack}")
+    return txns, bursts
+
+
+def validate(paths):
+    bad = 0
+    for path in paths:
+        problems = []
+        try:
+            doc = load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: unreadable trace: {err}")
+            bad += 1
+            continue
+        txns, _ = scan(doc, path, problems)
+        if problems:
+            for line in problems[:50]:
+                print(line)
+            if len(problems) > 50:
+                print(f"... and {len(problems) - 50} more")
+            print(f"analyze_trace: {path}: {len(problems)} problem(s) "
+                  f"across {len(txns)} transaction(s)")
+            bad += 1
+        else:
+            print(f"analyze_trace: {path}: OK "
+                  f"({len(txns)} transactions, "
+                  f"{len(doc['traceEvents'])} events)")
+    return 1 if bad else 0
+
+
+def report(paths, top_n):
+    status = 0
+    for path in paths:
+        problems = []
+        try:
+            doc = load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: unreadable trace: {err}")
+            status = 1
+            continue
+        txns, bursts = scan(doc, path, problems)
+        done = [t for t in txns.values()
+                if t.end is not None and t.cls in CLASSES]
+        meta = doc.get("metadata", {})
+        print(f"== {path}")
+        print(f"   {len(done)} completed transactions, "
+              f"{len(bursts)} device bursts, "
+              f"{meta.get('evicted_txns', 0)} evicted, "
+              f"{meta.get('dropped_events', 0)} dropped events")
+        if problems:
+            print(f"   WARNING: {len(problems)} structural problem(s);"
+                  f" run --validate for details")
+            status = 1
+
+        print(f"   {'class':<15}{'count':>8}{'mean':>10}{'p50':>8}"
+              f"{'p95':>8}{'p99':>8}{'lookup':>9}{'nvm':>8}"
+              f"{'other':>8}")
+        for cls in CLASSES:
+            group = [t for t in done if t.cls == cls]
+            if not group:
+                continue
+            lat = sorted(t.end - t.begin for t in group)
+            mean = sum(lat) / len(lat)
+            # Critical path per class: cycles the mean transaction
+            # spends inside each phase span, plus what no phase covers.
+            look = sum(t.phases.get("lookup", 0)
+                       for t in group) / len(group)
+            nvm = sum(t.phases.get("nvm", 0)
+                      for t in group) / len(group)
+            other = max(0.0, mean - look - nvm)
+            print(f"   {cls:<15}{len(lat):>8}{mean:>10.1f}"
+                  f"{percentile(lat, 0.50):>8}"
+                  f"{percentile(lat, 0.95):>8}"
+                  f"{percentile(lat, 0.99):>8}"
+                  f"{look:>9.1f}{nvm:>8.1f}{other:>8.1f}")
+
+        by_device = {}
+        for ev in bursts:
+            entry = by_device.setdefault(ev["pid"], [0, 0, 0])
+            args = ev.get("args", {})
+            entry[0] += 1
+            entry[1] += args.get("queue", 0)
+            entry[2] += args.get("service", 0)
+        names = {ev.get("pid"): ev.get("args", {}).get("name")
+                 for ev in doc["traceEvents"]
+                 if ev.get("ph") == "M"
+                 and ev.get("name") == "process_name"}
+        for pid in sorted(by_device):
+            count, queue, service = by_device[pid]
+            print(f"   {names.get(pid, pid)}: {count} bursts, "
+                  f"mean queue {queue / count:.1f}, "
+                  f"mean service {service / count:.1f} cycles")
+
+        slowest = sorted(done, key=lambda t: (t.begin - t.end, t.tid))
+        print(f"   top {min(top_n, len(slowest))} slowest:")
+        for t in slowest[:top_n]:
+            print(f"     txn {t.tid:<8} {t.cls:<15} "
+                  f"{t.end - t.begin:>7} cycles  @{t.begin}")
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate / summarize ACCORD transaction traces")
+    parser.add_argument("traces", nargs="+",
+                        help="trace-event JSON files (trace=<out>)")
+    parser.add_argument("--validate", action="store_true",
+                        help="structural checks only; exit 1 on any "
+                             "violation")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slowest transactions to list per file")
+    args = parser.parse_args()
+    if args.validate:
+        return validate(args.traces)
+    return report(args.traces, args.top)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

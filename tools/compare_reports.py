@@ -24,6 +24,10 @@ Usage:
     tools/compare_reports.py baseline.json candidate.json \
         [--rtol 1e-4] [--atol 1e-9] [--max-diffs 20]
 
+Exit status: 0 when the reports match, 1 when they differ, 2 when an
+input is not an ``accord.run_report/1`` document at all (a wrong file
+is not a "difference" — the diff never runs).
+
 Stdlib only; no third-party imports.
 """
 
@@ -33,6 +37,21 @@ import math
 import sys
 
 SCHEMA = "accord.run_report/1"
+
+
+def require_schema(doc, path):
+    """Refuse documents that are not run reports (exit 2).
+
+    Diffing an arbitrary JSON file against a golden report would
+    produce a wall of structural noise — or worse, accidentally pass
+    when both sides lack the compared sections.  Gate on the schema
+    tag before any comparison runs.
+    """
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        got = doc.get("schema") if isinstance(doc, dict) else type(doc).__name__
+        print(f"compare_reports: {path} is not a {SCHEMA} document "
+              f"(schema={got!r}); refusing to diff")
+        sys.exit(2)
 
 
 class Differ:
@@ -172,6 +191,8 @@ def main():
         base = json.load(fh)
     with open(args.candidate, encoding="utf-8") as fh:
         cand = json.load(fh)
+    require_schema(base, args.baseline)
+    require_schema(cand, args.candidate)
 
     diffs = compare_reports(base, cand, args.rtol, args.atol,
                             args.max_diffs)

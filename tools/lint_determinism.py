@@ -31,6 +31,11 @@ Rules
     on the hash implementation and must never reach stats, tables, or
     logs.  Sort first (see ``DcpDirectory::entries()``), or annotate a
     provably order-insensitive loop.
+``wallclock-trace``
+    Any wall-clock read (``*_clock::now``, ``gettimeofday``,
+    ``clock_gettime``) in ``trace_event`` sources: trace timestamps
+    must be simulation cycles, or the exported JSON differs on every
+    run and the jobs-independence guarantee breaks.
 ``printf-metrics``
     ``printf``/``fprintf``/``puts``/``fputs`` in ``bench/`` sources:
     results must flow through the report layer (``report::Reporter``
@@ -102,6 +107,18 @@ LINE_RULES = [
 
 # Directories whose sources must print through the report layer.
 REPORT_ONLY_DIRS = ("bench",)
+
+# Path parts whose sources must timestamp with sim cycles only.
+SIM_CLOCK_DIRS = ("trace_event",)
+
+WALLCLOCK_TRACE_RULE = (
+    "wallclock-trace",
+    re.compile(
+        r"_clock\s*::\s*now\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+    ),
+    "trace timestamps must be simulation cycles; a wall-clock read "
+    "here makes the exported trace differ on every run",
+)
 
 PRINTF_RULE = (
     "printf-metrics",
@@ -228,6 +245,9 @@ def lint_file(path, rel):
     report_only = any(
         d in pathlib.PurePath(rel).parts for d in REPORT_ONLY_DIRS
     )
+    sim_clock_only = any(
+        d in pathlib.PurePath(rel).parts for d in SIM_CLOCK_DIRS
+    )
 
     # Pass 1: find names declared with unordered container types.
     unordered_names = set()
@@ -248,6 +268,14 @@ def lint_file(path, rel):
         rule, regex, message = ENGINE_RULE
         if (
             not engines_allowed
+            and regex.search(code)
+            and not is_allowed(allows, lineno, rule)
+        ):
+            violations.append(Violation(rel, lineno, rule, message))
+
+        rule, regex, message = WALLCLOCK_TRACE_RULE
+        if (
+            sim_clock_only
             and regex.search(code)
             and not is_allowed(allows, lineno, rule)
         ):
