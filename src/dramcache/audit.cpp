@@ -144,6 +144,71 @@ auditDcpForward(const DcpDirectory &dcp, const TagStore &tags,
 }
 
 void
+auditCaSlotRange(const TagStore &tags, const DcpDirectory &dcp,
+                 std::uint64_t pairMask, InvariantAuditor &auditor,
+                 std::uint64_t firstSlot, std::uint64_t lastSlot)
+{
+    const std::uint64_t slots = tags.geometry().sets;
+    for (std::uint64_t slot = firstSlot; slot < lastSlot; ++slot) {
+        if (!tags.valid(slot, 0))
+            continue;
+        const LineAddr line = tags.tag(slot, 0);
+        const std::uint64_t primary = line & (slots - 1);
+        if (slot != primary && slot != (primary ^ pairMask)) {
+            auditor.fail(
+                "ca-slot",
+                "slot %llu holds line %llx whose primary is %llu",
+                static_cast<unsigned long long>(slot),
+                static_cast<unsigned long long>(line),
+                static_cast<unsigned long long>(primary));
+        }
+        const auto sel = dcp.lookup(line);
+        if (sel && *sel > 1) {
+            auditor.fail("dcp-way-range",
+                         "line %llx: CA slot selector %u not 0/1",
+                         static_cast<unsigned long long>(line), *sel);
+        } else if (sel
+                   && (*sel == 0 ? primary : primary ^ pairMask)
+                          != slot) {
+            auditor.fail(
+                "dcp-coherence",
+                "line %llx: directory selector %u resolves to slot "
+                "%llu, but slot %llu holds it",
+                static_cast<unsigned long long>(line), *sel,
+                static_cast<unsigned long long>(
+                    *sel == 0 ? primary : primary ^ pairMask),
+                static_cast<unsigned long long>(slot));
+        }
+    }
+}
+
+void
+auditCaDcpReverse(const TagStore &tags, const DcpDirectory &dcp,
+                  std::uint64_t pairMask, InvariantAuditor &auditor)
+{
+    const std::uint64_t slots = tags.geometry().sets;
+    for (const auto &[line, sel] : dcp.entries()) {
+        if (sel > 1) {
+            auditor.fail("dcp-way-range",
+                         "line %llx: CA slot selector %u not 0/1",
+                         static_cast<unsigned long long>(line), sel);
+            continue;
+        }
+        const std::uint64_t primary = line & (slots - 1);
+        const std::uint64_t slot =
+            sel == 0 ? primary : primary ^ pairMask;
+        if (!(tags.valid(slot, 0) && tags.tag(slot, 0) == line)) {
+            auditor.fail(
+                "dcp-coherence",
+                "line %llx: directory says slot %llu, which does "
+                "not hold it",
+                static_cast<unsigned long long>(line),
+                static_cast<unsigned long long>(slot));
+        }
+    }
+}
+
+void
 auditStats(const DramCacheStats &stats, InvariantAuditor &auditor)
 {
     if (stats.wayPrediction.total() != stats.readHits.hits()) {

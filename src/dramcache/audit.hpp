@@ -79,6 +79,27 @@ void auditDcpForward(const DcpDirectory &dcp, const TagStore &tags,
                      std::uint64_t lastSet);
 
 /**
+ * Column-associative layout consistency over slots
+ * [firstSlot, lastSlot): each resident line (CA tags are full line
+ * addresses) must sit in its primary slot (line & (slots-1)) or that
+ * slot's pair (primary ^ pairMask), and any DCP entry's 0/1 slot
+ * selector must resolve to the slot actually holding it.
+ */
+void auditCaSlotRange(const TagStore &tags, const DcpDirectory &dcp,
+                      std::uint64_t pairMask, InvariantAuditor &auditor,
+                      std::uint64_t firstSlot, std::uint64_t lastSlot);
+
+/**
+ * Reverse-direction CA DCP check: stale directory entries for lines no
+ * longer resident anywhere, which the forward per-slot check cannot
+ * see.  Materializes the full directory, so only the full audit runs
+ * it.
+ */
+void auditCaDcpReverse(const TagStore &tags, const DcpDirectory &dcp,
+                       std::uint64_t pairMask,
+                       InvariantAuditor &auditor);
+
+/**
  * Stats identities that hold whenever no transaction is in flight:
  * way prediction is sampled exactly once per read hit, every miss
  * reads main memory, and probe counts are sampled once per read.

@@ -1,14 +1,11 @@
 #include "dramcache/controller.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <cstdio>
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
-#include "common/rng.hpp"
 #include "common/trace_event/tracer.hpp"
-#include "core/predictors.hpp"
+#include "dramcache/access_plan.hpp"
 #include "dramcache/audit.hpp"
 
 namespace accord::dramcache
@@ -35,23 +32,22 @@ fitTiming(dram::TimingParams timing, std::uint64_t capacity)
     return timing;
 }
 
-core::CacheGeometry
-geometryFor(const DramCacheParams &params)
+/** Resolve the params' organization name against the registry. */
+const OrgFactory *
+resolveOrgFactory(const DramCacheParams &params)
 {
-    core::CacheGeometry geom;
-    if (params.org == Organization::ColumnAssoc) {
-        geom.ways = 1;
-        geom.sets = params.capacityBytes / lineSize;
-    } else {
-        if (params.ways == 0 || params.ways > 64
-            || !isPow2(params.ways))
-            fatal("dram cache: ways must be a power of two in [1,64]");
-        geom.ways = params.ways;
-        geom.sets = params.capacityBytes / lineSize / params.ways;
+    registerBuiltinOrganizations();
+    const std::string name =
+        params.orgName.empty() ? toToken(params.org) : params.orgName;
+    const OrgFactory *factory = organizationRegistry().find(name);
+    if (factory == nullptr) {
+        std::string known;
+        for (const auto &entry : organizationRegistry().names())
+            known += (known.empty() ? "" : ", ") + entry;
+        fatal("dram cache: unknown organization '%s' (registered: %s)",
+              name.c_str(), known.c_str());
     }
-    if (!isPow2(geom.sets))
-        fatal("dram cache: set count must be a power of two");
-    return geom;
+    return factory;
 }
 
 } // namespace
@@ -87,104 +83,26 @@ DramCacheStats::reset()
     readMissLatency.reset();
 }
 
-/** In-flight state of one timed demand read. */
-struct DramCacheController::ReadTxn
-{
-    core::LineRef ref;
-    ReadDone done;
-    Cycle start = 0;
-
-    /** Trace transaction of this read (kNoTxn when untraced). */
-    trace_event::TxnId trace = trace_event::kNoTxn;
-
-    /** Probe order (Serial/Predicted) or issue order (Parallel). */
-    std::array<unsigned, 64> order{};
-    unsigned orderCount = 0;
-
-    /** Parallel lookup: position of the resident way, -1 if absent. */
-    int parallelHitPos = -1;
-    unsigned parallelArrived = 0;
-};
-
 DramCacheController::DramCacheController(
     const DramCacheParams &params,
     std::unique_ptr<core::WayPolicy> policy, dram::TimingParams timing,
     EventQueue &eq, nvm::NvmSystem &nvm)
-    : params(params), geom(geometryFor(params)),
+    : params(params), org_factory_(resolveOrgFactory(this->params)),
+      geom(org_factory_->geometry(this->params)),
       policy_(std::move(policy)), eq(eq), nvm(nvm),
       hbm_(fitTiming(timing, params.capacityBytes), eq),
       layout(geom, hbm_.params(), params.layout), tags(geom),
-      install_rng(params.seed ^ 0x1e57a11ULL),
-    audit_countdown(params.auditInterval)
+      audit_countdown(params.auditInterval)
 {
-    if (params.org == Organization::ColumnAssoc) {
-        ACCORD_ASSERT(!policy_, "CA-cache does not take a way policy");
-        ACCORD_ASSERT(geom.sets >= 2, "CA-cache needs >= 2 slots");
-        ca_pair_mask = geom.sets >> 1;
-    }
-    if (params.replacement == L4Replacement::Lru) {
-        ACCORD_ASSERT(!policy_,
-                      "LRU replacement is the unsteered ablation; it "
-                      "cannot be combined with a way policy");
-        ACCORD_ASSERT(params.org == Organization::SetAssoc,
-                      "LRU ablation applies to set-associative mode");
-        lru_stamps.assign(geom.lines(), 0);
-    }
-    if (policy_) {
-        ACCORD_ASSERT(policy_->geometry().sets == geom.sets
-                          && policy_->geometry().ways == geom.ways,
-                      "policy geometry mismatch");
-        // Wire the oracle for the perfect-prediction bound.
-        if (auto *perfect =
-                dynamic_cast<core::PerfectPolicy *>(policy_.get())) {
-            perfect->setOracle([this](const core::LineRef &ref) {
-                return tags.findWay(ref.set, ref.tag);
-            });
-        }
-    }
+    // The plan core owns the probe bound: any organization a factory
+    // produces must fit its probe sequences in kMaxWays steps.
+    ACCORD_ASSERT(geom.ways >= 1 && geom.ways <= kMaxWays,
+                  "organization geometry exceeds the plan-core bound");
+    org_ = org_factory_->make(OrgContext{this->params, geom, tags, dcp,
+                                         stats_, policy_.get(), *this});
 }
 
-void
-DramCacheController::auditCaSlotRange(InvariantAuditor &auditor,
-                                      std::uint64_t firstSlot,
-                                      std::uint64_t lastSlot) const
-{
-    // CA mode stores full line addresses as tags; each resident line
-    // must sit in its primary slot or that slot's pair (layout
-    // consistency), and if the DCP tracks it, the entry's 0/1 slot
-    // selector must resolve to the slot actually holding it.
-    for (std::uint64_t slot = firstSlot; slot < lastSlot; ++slot) {
-        if (!tags.valid(slot, 0))
-            continue;
-        const LineAddr line = tags.tag(slot, 0);
-        const std::uint64_t primary = primarySlot(line);
-        if (slot != primary && slot != pairSlot(primary)) {
-            auditor.fail(
-                "ca-slot",
-                "slot %llu holds line %llx whose primary is %llu",
-                static_cast<unsigned long long>(slot),
-                static_cast<unsigned long long>(line),
-                static_cast<unsigned long long>(primary));
-        }
-        const auto sel = dcp.lookup(line);
-        if (sel && *sel > 1) {
-            auditor.fail("dcp-way-range",
-                         "line %llx: CA slot selector %u not 0/1",
-                         static_cast<unsigned long long>(line), *sel);
-        } else if (sel
-                   && (*sel == 0 ? primary : pairSlot(primary))
-                          != slot) {
-            auditor.fail(
-                "dcp-coherence",
-                "line %llx: directory selector %u resolves to slot "
-                "%llu, but slot %llu holds it",
-                static_cast<unsigned long long>(line), *sel,
-                static_cast<unsigned long long>(
-                    *sel == 0 ? primary : pairSlot(primary)),
-                static_cast<unsigned long long>(slot));
-        }
-    }
-}
+DramCacheController::~DramCacheController() = default;
 
 void
 DramCacheController::auditWindow(InvariantAuditor &auditor,
@@ -192,19 +110,7 @@ DramCacheController::auditWindow(InvariantAuditor &auditor,
                                  std::uint64_t lastSet) const
 {
     auditTagStoreRange(tags, auditor, firstSet, lastSet);
-    if (params.org == Organization::ColumnAssoc) {
-        auditCaSlotRange(auditor, firstSet, lastSet);
-    } else {
-        if (policy_) {
-            auditPlacementRange(tags, *policy_, auditor, firstSet,
-                                lastSet);
-            // Policy tables are global, not per-set; audit them once
-            // per rotation instead of once per window.
-            if (firstSet == 0)
-                policy_->audit(auditor);
-        }
-        auditDcpForward(dcp, tags, auditor, firstSet, lastSet);
-    }
+    org_->auditRange(auditor, firstSet, lastSet);
     // In-flight transactions sample some counters at issue and others
     // at completion, so the identities only hold at quiescence.
     if (quiesced())
@@ -215,38 +121,7 @@ void
 DramCacheController::audit(InvariantAuditor &auditor) const
 {
     auditTagStore(tags, auditor);
-    if (params.org == Organization::ColumnAssoc) {
-        auditCaSlotRange(auditor, 0, geom.sets);
-        // Reverse direction: stale DCP entries for lines no longer
-        // resident anywhere, which the forward per-slot check above
-        // cannot see.
-        for (const auto &[line, sel] : dcp.entries()) {
-            if (sel > 1) {
-                auditor.fail("dcp-way-range",
-                             "line %llx: CA slot selector %u not 0/1",
-                             static_cast<unsigned long long>(line),
-                             sel);
-                continue;
-            }
-            const std::uint64_t primary = primarySlot(line);
-            const std::uint64_t slot =
-                sel == 0 ? primary : pairSlot(primary);
-            if (!slotHolds(slot, line)) {
-                auditor.fail(
-                    "dcp-coherence",
-                    "line %llx: directory says slot %llu, which does "
-                    "not hold it",
-                    static_cast<unsigned long long>(line),
-                    static_cast<unsigned long long>(slot));
-            }
-        }
-    } else {
-        if (policy_) {
-            auditPlacement(tags, *policy_, auditor);
-            policy_->audit(auditor);
-        }
-        auditDcp(dcp, tags, auditor);
-    }
+    org_->auditFull(auditor);
     // In-flight transactions sample some counters at issue and others
     // at completion, so the identities only hold at quiescence.
     if (quiesced())
@@ -274,156 +149,14 @@ DramCacheController::maybeAudit()
 std::string
 DramCacheController::describe() const
 {
-    char buf[128];
-    if (params.org == Organization::ColumnAssoc) {
-        std::snprintf(buf, sizeof buf, "ca-cache");
-    } else if (geom.ways == 1) {
-        std::snprintf(buf, sizeof buf, "direct-mapped");
-    } else {
-        const char *mode = "?";
-        switch (params.lookup) {
-          case LookupMode::Serial: mode = "serial"; break;
-          case LookupMode::Parallel: mode = "parallel"; break;
-          case LookupMode::Predicted: mode = "predicted"; break;
-          case LookupMode::Ideal: mode = "ideal"; break;
-        }
-        std::snprintf(buf, sizeof buf, "%u-way %s %s", geom.ways,
-                      policy_ ? policy_->name().c_str() : "rand", mode);
-    }
-    return buf;
-}
-
-unsigned
-DramCacheController::candidateCount(const core::LineRef &ref) const
-{
-    if (!policy_)
-        return geom.ways;
-    return static_cast<unsigned>(
-        std::popcount(policy_->candidates(ref)));
-}
-
-unsigned
-DramCacheController::probeOrder(const core::LineRef &ref,
-                                std::array<unsigned, 64> &order)
-{
-    if (geom.ways == 1) {
-        order[0] = 0;
-        return 1;
-    }
-
-    std::uint64_t mask =
-        policy_ ? policy_->candidates(ref) : geom.allWaysMask();
-    unsigned first;
-    if (policy_) {
-        first = policy_->predict(ref);
-        if (!(mask & (std::uint64_t{1} << first))) {
-            // A prediction outside the candidate set cannot be probed;
-            // fall back to the lowest candidate.
-            first = static_cast<unsigned>(std::countr_zero(mask));
-        }
-    } else {
-        first = static_cast<unsigned>(std::countr_zero(mask));
-    }
-
-    unsigned count = 0;
-    order[count++] = first;
-    mask &= ~(std::uint64_t{1} << first);
-    while (mask != 0) {
-        const unsigned way =
-            static_cast<unsigned>(std::countr_zero(mask));
-        order[count++] = way;
-        mask &= mask - 1;
-    }
-    return count;
-}
-
-unsigned
-DramCacheController::unsteeredVictim(const core::LineRef &ref)
-{
-    if (geom.ways == 1)
-        return 0;
-    if (params.replacement == L4Replacement::Random)
-        return static_cast<unsigned>(install_rng.below(geom.ways));
-
-    // LRU: prefer an invalid way, else the oldest stamp.
-    unsigned best = 0;
-    std::uint64_t best_stamp = ~std::uint64_t{0};
-    for (unsigned way = 0; way < geom.ways; ++way) {
-        if (!tags.valid(ref.set, way))
-            return way;
-        const std::uint64_t stamp =
-            lru_stamps[ref.set * geom.ways + way];
-        if (stamp < best_stamp) {
-            best_stamp = stamp;
-            best = way;
-        }
-    }
-    return best;
+    return org_->describe();
 }
 
 void
-DramCacheController::touchReplacement(const core::LineRef &ref,
-                                      unsigned way, bool timed,
-                                      trace_event::TxnId txn)
-{
-    if (params.replacement != L4Replacement::Lru)
-        return;
-    lru_stamps[ref.set * geom.ways + way] = ++lru_clock;
-    // The recency state lives in the DRAM array next to the tags:
-    // updating it on a hit costs a line write (paper footnote 2).
-    stats_.replacementUpdateWrites.inc();
-    stats_.cacheWriteTransfers.inc();
-    if (timed)
-        issueCacheOp(ref.set, way, true, nullptr, false, txn);
-}
-
-DramCacheController::InstallResult
-DramCacheController::installLine(const core::LineRef &ref)
-{
-    // Two overlapping misses to one line (cores sharing a hashed
-    // region, or a re-reference inside the MLP window) can both reach
-    // the fill path; the second fill must not create a duplicate copy.
-    if (const int existing = tags.findWay(ref.set, ref.tag);
-        existing >= 0) {
-        dcp.record(ref.line, static_cast<unsigned>(existing));
-        return {static_cast<unsigned>(existing), false, 0};
-    }
-
-    const unsigned way =
-        policy_ ? policy_->install(ref) : unsteeredVictim(ref);
-
-    if (params.replacement == L4Replacement::Lru)
-        lru_stamps[ref.set * geom.ways + way] = ++lru_clock;
-
-    const TagStore::Victim victim =
-        tags.install(ref.set, way, ref.tag, false);
-    if (policy_)
-        policy_->onInstall(ref, way);
-
-    stats_.cacheWriteTransfers.inc();   // the fill write
-    dcp.record(ref.line, way);
-
-    InstallResult result;
-    result.way = way;
-    if (victim.valid) {
-        const LineAddr victim_line =
-            (victim.tag << geom.setBits()) | ref.set;
-        dcp.erase(victim_line);
-        if (victim.dirty) {
-            stats_.nvmWrites.inc();
-            result.victimDirty = true;
-            result.victimLine = victim_line;
-        }
-    }
-    return result;
-}
-
-void
-DramCacheController::issueCacheOp(std::uint64_t set, unsigned way,
-                                  bool is_write,
-                                  dram::MemCallback on_complete,
-                                  bool priority,
-                                  trace_event::TxnId txn)
+DramCacheController::cacheOp(std::uint64_t set, unsigned way,
+                             bool is_write,
+                             dram::MemCallback on_complete,
+                             bool priority, trace_event::TxnId txn)
 {
     dram::MemOp op;
     op.loc = layout.locate(set, way);
@@ -432,6 +165,14 @@ DramCacheController::issueCacheOp(std::uint64_t set, unsigned way,
     op.onComplete = std::move(on_complete);
     op.txn = txn;
     hbm_.enqueue(std::move(op));
+}
+
+void
+DramCacheController::nvmWrite(LineAddr line,
+                              dram::MemCallback on_complete,
+                              trace_event::TxnId txn)
+{
+    nvm.writeLine(line, std::move(on_complete), txn);
 }
 
 void
@@ -478,45 +219,35 @@ DramCacheController::warmRead(LineAddr line)
 #if ACCORD_CHECKS_ENABLED
     maybeAudit();
 #endif
-    if (params.org == Organization::ColumnAssoc)
-        return warmReadCa(line);
+    const AccessPlan plan = org_->planRead(line);
+    const HitLocation loc = resolve(plan, tags);
 
-    const auto ref = core::LineRef::make(line, geom);
-    std::array<unsigned, 64> order;
-    const unsigned count = probeOrder(ref, order);
-    const int way = tags.findWay(ref.set, ref.tag);
-
-    if (way >= 0) {
-        unsigned pos = 0;
-        while (order[pos] != static_cast<unsigned>(way))
-            ++pos;
-        unsigned transfers;
-        switch (params.lookup) {
-          case LookupMode::Parallel: transfers = count; break;
-          case LookupMode::Ideal: transfers = 1; break;
-          default: transfers = pos + 1; break;
-        }
+    if (loc.index >= 0) {
+        const auto index = static_cast<unsigned>(loc.index);
+        const unsigned transfers = plan.hitTransfers(index);
         stats_.cacheReadTransfers.inc(transfers);
         stats_.probesPerRead.sample(static_cast<double>(transfers));
         stats_.readHits.hit();
-        stats_.wayPrediction.add(pos == 0);
-        if (policy_)
-            policy_->onHit(ref, static_cast<unsigned>(way));
-        touchReplacement(ref, static_cast<unsigned>(way),
-                         /* timed */ false);
-        dcp.record(line, static_cast<unsigned>(way));
+        stats_.wayPrediction.add(AccessPlan::predictedAt(index));
+        HitContext hit;
+        hit.line = line;
+        hit.set = plan.probes[index].set;
+        hit.way = loc.way;
+        hit.probeIndex = index;
+        hit.timed = false;
+        org_->onReadHit(hit);
+        org_->afterReadHit(hit);
         return true;
     }
 
-    const unsigned transfers =
-        params.lookup == LookupMode::Ideal ? 1 : count;
+    const unsigned transfers = plan.missTransfers();
     stats_.cacheReadTransfers.inc(transfers);
     stats_.probesPerRead.sample(static_cast<double>(transfers));
     stats_.readHits.miss();
-    if (policy_)
-        policy_->onMiss(ref);
+    org_->onReadMiss(plan.ref);
     stats_.nvmReads.inc();
-    installLine(ref);
+    org_->installAfterMiss(line, /* timed */ false,
+                           trace_event::kNoTxn);
     return false;
 }
 
@@ -524,206 +255,6 @@ void
 DramCacheController::warmWriteback(LineAddr line)
 {
     writebackCommon(line, /* timed */ false);
-}
-
-// --------------------------------------------------------------------
-// Timed path
-// --------------------------------------------------------------------
-
-void
-DramCacheController::read(LineAddr line, ReadDone done,
-                          trace_event::TxnId trace)
-{
-#if ACCORD_CHECKS_ENABLED
-    maybeAudit();
-#endif
-    if (params.org == Organization::ColumnAssoc) {
-        readCa(line, std::move(done), trace);
-        return;
-    }
-
-    auto txn = std::make_shared<ReadTxn>();
-    txn->ref = core::LineRef::make(line, geom);
-    txn->done = std::move(done);
-    txn->start = eq.now();
-    txn->trace = tracer_ != nullptr ? trace : trace_event::kNoTxn;
-    txn->orderCount = probeOrder(txn->ref, txn->order);
-    ++in_flight;
-
-    if (txn->trace != trace_event::kNoTxn) {
-        tracer_->phaseBegin(txn->trace, trace_event::Phase::Lookup,
-                            txn->start);
-    }
-
-    if (params.lookup == LookupMode::Ideal) {
-        // One magic probe resolves hit and miss alike (Fig 1c bound).
-        stats_.cacheReadTransfers.inc();
-        stats_.probesPerRead.sample(1.0);
-        if (txn->trace != trace_event::kNoTxn) {
-            tracer_->point(txn->trace,
-                           trace_event::Point::ProbeIssue,
-                           eq.now(), 0);
-        }
-        issueCacheOp(txn->ref.set, 0, false, [this, txn](Cycle when) {
-            const int way = tags.findWay(txn->ref.set, txn->ref.tag);
-            if (way >= 0)
-                finishHit(txn, static_cast<unsigned>(way), 0, when);
-            else
-                missConfirmed(txn, when);
-        }, false, txn->trace);
-        return;
-    }
-
-    if (params.lookup == LookupMode::Parallel) {
-        const int way = tags.findWay(txn->ref.set, txn->ref.tag);
-        if (way >= 0) {
-            unsigned pos = 0;
-            while (txn->order[pos] != static_cast<unsigned>(way))
-                ++pos;
-            txn->parallelHitPos = static_cast<int>(pos);
-        }
-        stats_.probesPerRead.sample(
-            static_cast<double>(txn->orderCount));
-        for (unsigned i = 0; i < txn->orderCount; ++i) {
-            stats_.cacheReadTransfers.inc();
-            if (txn->trace != trace_event::kNoTxn) {
-                tracer_->point(txn->trace,
-                               trace_event::Point::ProbeIssue,
-                               eq.now(), txn->order[i]);
-            }
-            issueCacheOp(txn->ref.set, txn->order[i], false,
-                         [this, txn](Cycle when) {
-                ++txn->parallelArrived;
-                const auto hit_pos =
-                    static_cast<unsigned>(txn->parallelHitPos);
-                if (txn->parallelHitPos >= 0
-                    && txn->parallelArrived == hit_pos + 1) {
-                    finishHit(txn, txn->order[hit_pos], hit_pos, when);
-                } else if (txn->parallelHitPos < 0
-                           && txn->parallelArrived == txn->orderCount) {
-                    missConfirmed(txn, when);
-                }
-            }, false, txn->trace);
-        }
-        return;
-    }
-
-    // Serial / Predicted: chained probes.
-    issueProbe(txn, 0);
-}
-
-void
-DramCacheController::issueProbe(const std::shared_ptr<ReadTxn> &txn,
-                                unsigned index)
-{
-    stats_.cacheReadTransfers.inc();
-    if (txn->trace != trace_event::kNoTxn) {
-        tracer_->point(txn->trace, trace_event::Point::ProbeIssue,
-                       eq.now(), txn->order[index]);
-    }
-    issueCacheOp(txn->ref.set, txn->order[index], false,
-                 [this, txn, index](Cycle when) {
-        probeDone(txn, index, when);
-    }, /* priority */ index > 0, txn->trace);
-}
-
-void
-DramCacheController::probeDone(const std::shared_ptr<ReadTxn> &txn,
-                               unsigned index, Cycle when)
-{
-    const unsigned way = txn->order[index];
-    if (tags.valid(txn->ref.set, way)
-        && tags.tag(txn->ref.set, way) == txn->ref.tag) {
-        stats_.probesPerRead.sample(static_cast<double>(index + 1));
-        finishHit(txn, way, index, when);
-        return;
-    }
-    if (index + 1 < txn->orderCount) {
-        issueProbe(txn, index + 1);
-        return;
-    }
-    stats_.probesPerRead.sample(static_cast<double>(txn->orderCount));
-    missConfirmed(txn, when);
-}
-
-void
-DramCacheController::finishHit(const std::shared_ptr<ReadTxn> &txn,
-                               unsigned way, unsigned probe_index,
-                               Cycle when)
-{
-    stats_.readHits.hit();
-    stats_.wayPrediction.add(probe_index == 0);
-    stats_.readHitLatency.sample(static_cast<double>(when - txn->start));
-    if (policy_)
-        policy_->onHit(txn->ref, way);
-    touchReplacement(txn->ref, way, /* timed */ true, txn->trace);
-    dcp.record(txn->ref.line, way);
-    --in_flight;
-    if (txn->trace != trace_event::kNoTxn) {
-        tracer_->point(txn->trace,
-                       probe_index == 0
-                           ? trace_event::Point::PredictCorrect
-                           : trace_event::Point::PredictWrong,
-                       when, way);
-        tracer_->phaseEnd(txn->trace, trace_event::Phase::Lookup,
-                          when);
-        tracer_->complete(
-            txn->trace,
-            probe_index == 0
-                ? trace_event::RequestClass::HitPredict
-                : trace_event::RequestClass::HitMispredict,
-            when);
-    }
-    if (txn->done)
-        txn->done(true, when);
-}
-
-void
-DramCacheController::missConfirmed(const std::shared_ptr<ReadTxn> &txn,
-                                   Cycle when)
-{
-    stats_.readHits.miss();
-    if (policy_)
-        policy_->onMiss(txn->ref);
-    stats_.nvmReads.inc();
-
-    if (txn->trace != trace_event::kNoTxn) {
-        tracer_->point(txn->trace, trace_event::Point::MissConfirm,
-                       when);
-        tracer_->phaseEnd(txn->trace, trace_event::Phase::Lookup,
-                          when);
-        tracer_->phaseBegin(txn->trace, trace_event::Phase::Nvm,
-                            when);
-    }
-
-    nvm.readLine(txn->ref.line, [this, txn](Cycle nvm_done) {
-        stats_.readMissLatency.sample(
-            static_cast<double>(nvm_done - txn->start));
-        --in_flight;
-        if (txn->trace != trace_event::kNoTxn) {
-            tracer_->phaseEnd(txn->trace, trace_event::Phase::Nvm,
-                              nvm_done);
-            tracer_->complete(txn->trace,
-                              trace_event::RequestClass::Miss,
-                              nvm_done);
-        }
-        if (txn->done)
-            txn->done(false, nvm_done);
-
-        // Fill off the critical path: functional install now, the
-        // array write and any victim writeback are posted.  The fill
-        // becomes its own trace transaction (the demand read already
-        // completed) grouped over its array write and any victim
-        // writeback.
-        trace_event::TxnId fill_txn = trace_event::kNoTxn;
-        auto member =
-            beginFillGroup(txn->trace, txn->ref.line, fill_txn);
-        const InstallResult fill = installLine(txn->ref);
-        issueCacheOp(txn->ref.set, fill.way, true, member(), false,
-                     fill_txn);
-        if (fill.victimDirty)
-            nvm.writeLine(fill.victimLine, member(), fill_txn);
-    }, txn->trace);
 }
 
 void
@@ -741,8 +272,6 @@ void
 DramCacheController::writebackCommon(LineAddr line, bool timed,
                                      trace_event::TxnId txn)
 {
-    const bool is_ca = params.org == Organization::ColumnAssoc;
-
     // The transaction completes when its routed data write finishes
     // (straggling locate probes only add device events).
     dram::MemCallback complete_cb;
@@ -757,120 +286,47 @@ DramCacheController::writebackCommon(LineAddr line, bool timed,
             tracer_->point(txn, point, eq.now());
     };
 
+    DcpTarget target;
     if (params.dcpWayBits) {
         const auto dcp_way = dcp.lookup(line);
-        bool present = false;
-        std::uint64_t set = 0;
-        unsigned way = 0;
         if (dcp_way) {
-            if (is_ca) {
-                const std::uint64_t primary = primarySlot(line);
-                set = *dcp_way == 0 ? primary : pairSlot(primary);
-                way = 0;
-                present = slotHolds(set, line);
-            } else {
-                const auto ref = core::LineRef::make(line, geom);
-                set = ref.set;
-                way = *dcp_way;
-                present = tags.valid(set, way)
-                    && tags.tag(set, way) == ref.tag;
-            }
+            target = org_->dcpTarget(line, *dcp_way);
             // A stale entry (the line moved between the fill that set
             // the L3's way bits and this writeback) falls back to the
             // memory path, like a lost presence bit would.
-            if (!present)
+            if (!target.present)
                 stats_.dcpStaleWritebacks.inc();
         }
-        if (present) {
-            tags.markDirty(set, way);
-            stats_.cacheWriteTransfers.inc();
-            stats_.writebacksToCache.inc();
-            if (timed) {
-                route_point(trace_event::Point::RoutedToCache);
-                issueCacheOp(set, way, true, std::move(complete_cb),
-                             false, txn);
-            }
-        } else {
-            stats_.nvmWrites.inc();
-            stats_.writebacksToNvm.inc();
-            if (timed) {
-                route_point(trace_event::Point::RoutedToNvm);
-                nvm.writeLine(line, std::move(complete_cb), txn);
-            }
-        }
-        return;
-    }
-
-    // No DCP way bits: a probe sequence locates the line (or confirms
-    // absence) before the write can be routed.
-    if (is_ca) {
-        const std::uint64_t primary = primarySlot(line);
-        const std::uint64_t secondary = pairSlot(primary);
-        unsigned probes = 1;
-        std::uint64_t target = primary;
-        bool present = slotHolds(primary, line);
-        if (!present) {
-            probes = 2;
-            target = secondary;
-            present = slotHolds(secondary, line);
-        }
+    } else {
+        // No DCP way bits: a probe sequence locates the line (or
+        // confirms absence) before the write can be routed.
+        const AccessPlan plan = org_->planDemandLocate(line);
+        const HitLocation loc = resolve(plan, tags);
+        const unsigned probes = loc.index >= 0
+            ? static_cast<unsigned>(loc.index) + 1
+            : plan.probeCount;
         stats_.cacheReadTransfers.inc(probes);
         stats_.writebackProbeTransfers.inc(probes);
         if (timed) {
             for (unsigned i = 0; i < probes; ++i)
-                issueCacheOp(i == 0 ? primary : secondary, 0, false,
-                             nullptr, false, txn);
+                cacheOp(plan.probes[i].set, plan.probes[i].way, false,
+                        {}, false, txn);
         }
-        if (present) {
-            tags.markDirty(target, 0);
-            stats_.cacheWriteTransfers.inc();
-            stats_.writebacksToCache.inc();
-            if (timed) {
-                route_point(trace_event::Point::RoutedToCache);
-                issueCacheOp(target, 0, true, std::move(complete_cb),
-                             false, txn);
-            }
-        } else {
-            stats_.nvmWrites.inc();
-            stats_.writebacksToNvm.inc();
-            if (timed) {
-                route_point(trace_event::Point::RoutedToNvm);
-                nvm.writeLine(line, std::move(complete_cb), txn);
-            }
+        if (loc.index >= 0) {
+            target.set = plan.probes[loc.index].set;
+            target.way = plan.probes[loc.index].way;
+            target.present = true;
         }
-        return;
     }
 
-    const auto ref = core::LineRef::make(line, geom);
-    std::array<unsigned, 64> order;
-    const unsigned count = probeOrder(ref, order);
-    const int way = tags.findWay(ref.set, ref.tag);
-
-    unsigned probes;
-    if (way >= 0) {
-        unsigned pos = 0;
-        while (order[pos] != static_cast<unsigned>(way))
-            ++pos;
-        probes = pos + 1;
-    } else {
-        probes = count;
-    }
-    stats_.cacheReadTransfers.inc(probes);
-    stats_.writebackProbeTransfers.inc(probes);
-    if (timed) {
-        for (unsigned i = 0; i < probes; ++i)
-            issueCacheOp(ref.set, order[i], false, nullptr, false,
-                         txn);
-    }
-
-    if (way >= 0) {
-        tags.markDirty(ref.set, static_cast<unsigned>(way));
+    if (target.present) {
+        tags.markDirty(target.set, target.way);
         stats_.cacheWriteTransfers.inc();
         stats_.writebacksToCache.inc();
         if (timed) {
             route_point(trace_event::Point::RoutedToCache);
-            issueCacheOp(ref.set, static_cast<unsigned>(way), true,
-                         std::move(complete_cb), false, txn);
+            cacheOp(target.set, target.way, true, std::move(complete_cb),
+                    false, txn);
         }
     } else {
         stats_.nvmWrites.inc();
@@ -880,246 +336,6 @@ DramCacheController::writebackCommon(LineAddr line, bool timed,
             nvm.writeLine(line, std::move(complete_cb), txn);
         }
     }
-}
-
-// --------------------------------------------------------------------
-// Column-associative (CA-cache) organization
-// --------------------------------------------------------------------
-
-std::uint64_t
-DramCacheController::primarySlot(LineAddr line) const
-{
-    return line & (geom.sets - 1);
-}
-
-std::uint64_t
-DramCacheController::pairSlot(std::uint64_t slot) const
-{
-    return slot ^ ca_pair_mask;
-}
-
-bool
-DramCacheController::slotHolds(std::uint64_t slot, LineAddr line) const
-{
-    // CA mode stores full line addresses as tags.
-    return tags.valid(slot, 0) && tags.tag(slot, 0) == line;
-}
-
-void
-DramCacheController::caSwap(std::uint64_t primary,
-                            std::uint64_t secondary)
-{
-    const bool p_valid = tags.valid(primary, 0);
-    const bool s_valid = tags.valid(secondary, 0);
-    const std::uint64_t p_line = p_valid ? tags.tag(primary, 0) : 0;
-    const std::uint64_t s_line = s_valid ? tags.tag(secondary, 0) : 0;
-    const bool p_dirty = p_valid && tags.dirty(primary, 0);
-    const bool s_dirty = s_valid && tags.dirty(secondary, 0);
-
-    if (s_valid)
-        tags.install(primary, 0, s_line, s_dirty);
-    else
-        tags.invalidate(primary, 0);
-    if (p_valid)
-        tags.install(secondary, 0, p_line, p_dirty);
-    else
-        tags.invalidate(secondary, 0);
-
-    // Both slots are rewritten: two line transfers.
-    stats_.cacheWriteTransfers.inc(2);
-    stats_.swaps.inc();
-
-    if (s_valid)
-        dcp.record(s_line,
-                   primarySlot(s_line) == primary ? 0u : 1u);
-    if (p_valid)
-        dcp.record(p_line,
-                   primarySlot(p_line) == secondary ? 0u : 1u);
-}
-
-void
-DramCacheController::caInstall(LineAddr line, std::uint64_t primary,
-                               std::uint64_t secondary, bool timed,
-                               trace_event::TxnId parent)
-{
-    // The posted install is one Fill trace transaction spanning the
-    // relocation write, any victim writeback, and the fill write.
-    trace_event::TxnId fill_txn = trace_event::kNoTxn;
-    auto member = beginFillGroup(parent, line, fill_txn);
-
-    // Displace the primary occupant to the secondary slot, evicting
-    // whatever lived there; the new line always lands at primary.
-    const bool old_valid = tags.valid(primary, 0);
-    if (old_valid) {
-        const std::uint64_t old_line = tags.tag(primary, 0);
-        const bool old_dirty = tags.dirty(primary, 0);
-        const TagStore::Victim evicted =
-            tags.install(secondary, 0, old_line, old_dirty);
-        stats_.cacheWriteTransfers.inc();   // the relocation write
-        if (timed)
-            issueCacheOp(secondary, 0, true, member(), false,
-                         fill_txn);
-        dcp.record(old_line,
-                   primarySlot(old_line) == secondary ? 0u : 1u);
-        if (evicted.valid) {
-            dcp.erase(evicted.tag);
-            if (evicted.dirty) {
-                stats_.nvmWrites.inc();
-                if (timed)
-                    nvm.writeLine(evicted.tag, member(), fill_txn);
-            }
-        }
-    }
-
-    tags.install(primary, 0, line, false);
-    stats_.cacheWriteTransfers.inc();       // the fill write
-    if (timed)
-        issueCacheOp(primary, 0, true, member(), false, fill_txn);
-    dcp.record(line, 0);
-}
-
-bool
-DramCacheController::warmReadCa(LineAddr line)
-{
-    const std::uint64_t primary = primarySlot(line);
-    const std::uint64_t secondary = pairSlot(primary);
-
-    stats_.cacheReadTransfers.inc();        // primary probe
-    if (slotHolds(primary, line)) {
-        stats_.probesPerRead.sample(1.0);
-        stats_.readHits.hit();
-        stats_.wayPrediction.add(true);
-        dcp.record(line, 0);
-        return true;
-    }
-
-    stats_.cacheReadTransfers.inc();        // secondary probe
-    stats_.probesPerRead.sample(2.0);
-    if (slotHolds(secondary, line)) {
-        stats_.readHits.hit();
-        stats_.wayPrediction.add(false);
-        caSwap(primary, secondary);
-        return true;
-    }
-
-    stats_.readHits.miss();
-    stats_.nvmReads.inc();
-    caInstall(line, primary, secondary, /* timed */ false);
-    return false;
-}
-
-void
-DramCacheController::readCa(LineAddr line, ReadDone done,
-                            trace_event::TxnId trace)
-{
-    struct CaTxn
-    {
-        LineAddr line;
-        std::uint64_t primary;
-        std::uint64_t secondary;
-        ReadDone done;
-        Cycle start;
-        trace_event::TxnId trace;
-    };
-
-    auto txn = std::make_shared<CaTxn>();
-    txn->line = line;
-    txn->primary = primarySlot(line);
-    txn->secondary = pairSlot(txn->primary);
-    txn->done = std::move(done);
-    txn->start = eq.now();
-    txn->trace = tracer_ != nullptr ? trace : trace_event::kNoTxn;
-    ++in_flight;
-
-    if (txn->trace != trace_event::kNoTxn) {
-        tracer_->phaseBegin(txn->trace, trace_event::Phase::Lookup,
-                            txn->start);
-        tracer_->point(txn->trace, trace_event::Point::ProbeIssue,
-                       txn->start, 0);
-    }
-
-    auto finish_hit = [this, txn](bool first_probe, Cycle when) {
-        stats_.readHits.hit();
-        stats_.wayPrediction.add(first_probe);
-        stats_.probesPerRead.sample(first_probe ? 1.0 : 2.0);
-        stats_.readHitLatency.sample(
-            static_cast<double>(when - txn->start));
-        --in_flight;
-        if (txn->trace != trace_event::kNoTxn) {
-            tracer_->point(txn->trace,
-                           first_probe
-                               ? trace_event::Point::PredictCorrect
-                               : trace_event::Point::PredictWrong,
-                           when, first_probe ? 0 : 1);
-            tracer_->phaseEnd(txn->trace,
-                              trace_event::Phase::Lookup, when);
-            tracer_->complete(
-                txn->trace,
-                first_probe
-                    ? trace_event::RequestClass::HitPredict
-                    : trace_event::RequestClass::HitMispredict,
-                when);
-        }
-        if (txn->done)
-            txn->done(true, when);
-    };
-
-    stats_.cacheReadTransfers.inc();
-    issueCacheOp(txn->primary, 0, false,
-                 [this, txn, finish_hit](Cycle when) {
-        if (slotHolds(txn->primary, txn->line)) {
-            dcp.record(txn->line, 0);
-            finish_hit(true, when);
-            return;
-        }
-        stats_.cacheReadTransfers.inc();
-        if (txn->trace != trace_event::kNoTxn) {
-            tracer_->point(txn->trace,
-                           trace_event::Point::ProbeIssue, when, 1);
-        }
-        issueCacheOp(txn->secondary, 0, false,
-                     [this, txn, finish_hit](Cycle when2) {
-            if (slotHolds(txn->secondary, txn->line)) {
-                finish_hit(false, when2);
-                // Swap-to-primary off the critical path.
-                caSwap(txn->primary, txn->secondary);
-                issueCacheOp(txn->primary, 0, true, nullptr, false,
-                             txn->trace);
-                issueCacheOp(txn->secondary, 0, true, nullptr, false,
-                             txn->trace);
-                return;
-            }
-            stats_.readHits.miss();
-            stats_.probesPerRead.sample(2.0);
-            stats_.nvmReads.inc();
-            if (txn->trace != trace_event::kNoTxn) {
-                tracer_->point(txn->trace,
-                               trace_event::Point::MissConfirm,
-                               when2);
-                tracer_->phaseEnd(txn->trace,
-                                  trace_event::Phase::Lookup, when2);
-                tracer_->phaseBegin(txn->trace,
-                                    trace_event::Phase::Nvm, when2);
-            }
-            nvm.readLine(txn->line, [this, txn](Cycle nvm_done) {
-                stats_.readMissLatency.sample(
-                    static_cast<double>(nvm_done - txn->start));
-                --in_flight;
-                if (txn->trace != trace_event::kNoTxn) {
-                    tracer_->phaseEnd(txn->trace,
-                                      trace_event::Phase::Nvm,
-                                      nvm_done);
-                    tracer_->complete(
-                        txn->trace, trace_event::RequestClass::Miss,
-                        nvm_done);
-                }
-                if (txn->done)
-                    txn->done(false, nvm_done);
-                caInstall(txn->line, txn->primary, txn->secondary,
-                          /* timed */ true, txn->trace);
-            }, txn->trace);
-        }, /* priority */ true, txn->trace);
-    }, false, txn->trace);
 }
 
 void

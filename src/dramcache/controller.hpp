@@ -1,50 +1,44 @@
 /**
  * @file
- * The L4 DRAM-cache controller.
+ * The L4 DRAM-cache controller: the timed transaction engine plus a
+ * thin functional shell.
  *
- * Implements every cache organization the paper evaluates on top of a
- * tags-with-data array:
+ * The access path is split into three layers:
  *
- *  - direct-mapped (Alloy/KNL baseline): 1 probe resolves hit or miss;
- *  - set-associative with parallel, serial, way-predicted, or
- *    idealized lookup (Section II-C, Table I);
- *  - column-associative / hash-rehash (CA-cache, Section VII), which
- *    swaps lines to keep hot lines at their primary slot.
+ *  - the pure decision core (access_plan.hpp) turns a line address
+ *    into a side-effect-free probe/transfer plan;
+ *  - an Organization strategy (organization.hpp; set-associative or
+ *    column-associative, resolved by name through the registry)
+ *    owns placement, install, and per-hit state updates;
+ *  - this controller executes plans: untimed for warmRead()/
+ *    warmWriteback(), and fully timed against the stacked-DRAM array
+ *    and the NVM main memory for read()/writeback(), emitting trace
+ *    events and latency statistics.
  *
- * Way-predicted lookup consults a core::WayPolicy both to order probes
- * and to steer installs; miss confirmation probes only the policy's
- * candidate ways, which is how Skewed Way-Steering caps the miss cost
- * at two probes (Section V-A).
- *
- * The controller offers two execution paths over the same functional
- * state (tag store, policy, DCP directory):
- *
- *  - warmRead()/warmWriteback(): untimed, used for cache warmup and
- *    for pure hit-rate / prediction-accuracy studies; these count the
- *    line transfers each access WOULD cost;
- *  - read()/writeback(): fully timed against the stacked-DRAM array
- *    and the NVM main memory via the shared EventQueue.
+ * Both execution shells consume the SAME plan from the SAME strategy,
+ * so the functional and timed paths agree on hit/miss, transfer, and
+ * prediction accounting by construction.
  */
 
 #ifndef ACCORD_DRAMCACHE_CONTROLLER_HPP
 #define ACCORD_DRAMCACHE_CONTROLLER_HPP
 
-#include <array>
 #include <functional>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "common/event_queue.hpp"
 #include "common/invariant_auditor.hpp"
 #include "common/metrics/registry.hpp"
-#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/trace_event/trace_event.hpp"
 #include "core/way_policy.hpp"
 #include "dram/dram_system.hpp"
 #include "dramcache/dcp.hpp"
+#include "dramcache/enums.hpp"
 #include "dramcache/layout.hpp"
+#include "dramcache/organization.hpp"
+#include "dramcache/params.hpp"
 #include "dramcache/tag_store.hpp"
 #include "nvm/nvm_system.hpp"
 
@@ -56,116 +50,8 @@ class Tracer;
 namespace accord::dramcache
 {
 
-/** How lookups locate a line within a set (Section II-C). */
-enum class LookupMode
-{
-    Serial,     ///< probe ways one by one in a fixed order
-    Parallel,   ///< stream all candidate ways per access
-    Predicted,  ///< probe the predicted way first, then the rest
-    Ideal,      ///< magic 1-transfer hit AND miss (Fig 1c bound)
-};
-
-/** Overall array organization. */
-enum class Organization
-{
-    SetAssoc,       ///< ways==1 gives the direct-mapped baseline
-    ColumnAssoc,    ///< hash-rehash with swap-to-primary (CA-cache)
-};
-
-/** Victim selection when no way policy steers installs. */
-enum class L4Replacement
-{
-    /** Update-free random replacement (the paper's choice, II-B4). */
-    Random,
-
-    /**
-     * True LRU.  Because the replacement state lives with the tags in
-     * DRAM, every hit pays an extra line write to update it — the
-     * paper's footnote 2 measures this costing ~9% vs random.
-     */
-    Lru,
-};
-
-/** DRAM cache configuration. */
-struct DramCacheParams
-{
-    std::uint64_t capacityBytes = 256ULL << 20;
-    unsigned ways = 1;
-    Organization org = Organization::SetAssoc;
-    LookupMode lookup = LookupMode::Predicted;
-
-    /** Writebacks carry DCP way bits and skip the probe (II-B3). */
-    bool dcpWayBits = true;
-
-    /** Victim selection for unsteered installs (LRU ablation). */
-    L4Replacement replacement = L4Replacement::Random;
-
-    /** Way placement in the array (row-co-located vs striped). */
-    LayoutMode layout = LayoutMode::RowCoLocated;
-
-    std::uint64_t seed = 7;
-
-    /**
-     * Run an invariant audit every this many demand reads when checks
-     * are compiled in (Debug, ACCORD_CHECKS, or sanitizer builds); 0
-     * disables the periodic sweep.  Each firing audits a bounded slice
-     * of sets (rotating through the whole array over successive
-     * firings) so the amortized cost stays O(1) per access even for
-     * gigascale caches.  Release builds compile the hook out entirely.
-     */
-    std::uint32_t auditInterval = 4096;
-};
-
-/** Controller statistics. */
-struct DramCacheStats
-{
-    Ratio readHits;
-
-    /** First-probe-correct ratio over read hits. */
-    Ratio wayPrediction;
-
-    /** Line transfers on the stacked-DRAM bus. */
-    Counter cacheReadTransfers;
-    Counter cacheWriteTransfers;
-
-    Counter nvmReads;
-    Counter nvmWrites;
-
-    Counter writebacksToCache;
-    Counter writebacksToNvm;
-
-    /** Probe transfers spent locating writeback targets (no-DCP mode). */
-    Counter writebackProbeTransfers;
-
-    /** Writebacks whose DCP way bits were stale (rare races). */
-    Counter dcpStaleWritebacks;
-
-    /** CA-cache swap operations. */
-    Counter swaps;
-
-    /** Replacement-state update writes (LRU-in-DRAM ablation). */
-    Counter replacementUpdateWrites;
-
-    Average probesPerRead;
-    Average readHitLatency;
-    Average readMissLatency;
-
-    /** All stacked-DRAM transfers per demand read (bandwidth bloat). */
-    double transfersPerRead() const;
-
-    void reset();
-
-    /**
-     * Register every member under `prefix`: lookup + way_prediction
-     * (Ratio), the transfer/writeback counters, the latency/probe
-     * averages, and a transfers_per_read gauge.
-     */
-    void registerMetrics(MetricRegistry &registry,
-                         const std::string &prefix) const;
-};
-
 /** The L4 DRAM-cache controller. */
-class DramCacheController
+class DramCacheController : private OrgServices
 {
   public:
     /** Demand-read completion: hit/miss and data-ready cycle. */
@@ -184,6 +70,8 @@ class DramCacheController
                         std::unique_ptr<core::WayPolicy> policy,
                         dram::TimingParams timing, EventQueue &eq,
                         nvm::NvmSystem &nvm);
+
+    ~DramCacheController();
 
     // --- timed path -----------------------------------------------
 
@@ -247,10 +135,10 @@ class DramCacheController
 
     /**
      * Record every violated model-state invariant into the auditor:
-     * tag-store consistency, way-placement legality, DCP coherence,
-     * policy-internal tables, and (when quiesced) stats identities.
-     * Always available; the periodic self-audit driven by
-     * DramCacheParams::auditInterval calls this under
+     * tag-store consistency, organization-specific placement rules,
+     * DCP coherence, policy-internal tables, and (when quiesced)
+     * stats identities.  Always available; the periodic self-audit
+     * driven by DramCacheParams::auditInterval calls this under
      * ACCORD_CHECKS_ENABLED and panics on any violation.
      */
     void audit(InvariantAuditor &auditor) const;
@@ -267,84 +155,43 @@ class DramCacheController
                      std::uint64_t lastSet) const;
 
   private:
-    /** Probe order for a line: predicted way first, then candidates. */
-    unsigned probeOrder(const core::LineRef &ref,
-                        std::array<unsigned, 64> &order);
+    // --- OrgServices (device access lent to the organization) -----
 
-    /** Number of candidate ways (miss-confirmation cost). */
-    unsigned candidateCount(const core::LineRef &ref) const;
+    void cacheOp(std::uint64_t set, unsigned way, bool is_write,
+                 dram::MemCallback on_complete, bool priority,
+                 trace_event::TxnId txn) override;
 
-    /** What an install did, for the timed path to mirror on devices. */
-    struct InstallResult
-    {
-        unsigned way = 0;
-        bool victimDirty = false;
-        LineAddr victimLine = 0;
-    };
+    void nvmWrite(LineAddr line, dram::MemCallback on_complete,
+                  trace_event::TxnId txn) override;
 
-    /** Shared install bookkeeping (tag store, policy, DCP, counters). */
-    InstallResult installLine(const core::LineRef &ref);
-
-    /** Victim way for an unsteered install (random or LRU). */
-    unsigned unsteeredVictim(const core::LineRef &ref);
-
-    /**
-     * LRU bookkeeping on a hit: stamps the way and charges the
-     * in-DRAM replacement-state write (timed path issues it too).
-     */
-    void touchReplacement(const core::LineRef &ref, unsigned way,
-                          bool timed,
-                          trace_event::TxnId txn = trace_event::kNoTxn);
-
-    /** Issue a timed read/write of one way unit of a set. */
-    void issueCacheOp(std::uint64_t set, unsigned way, bool is_write,
-                      dram::MemCallback on_complete,
-                      bool priority = false,
-                      trace_event::TxnId txn = trace_event::kNoTxn);
-
-    /**
-     * Start a posted Fill trace transaction (kNoTxn when the parent
-     * read is untraced) and return a completion callback factory: each
-     * call registers one member op, and the transaction completes when
-     * the last member finishes.
-     */
     std::function<dram::MemCallback()>
     beginFillGroup(trace_event::TxnId parent, LineAddr line,
-                   trace_event::TxnId &fill_txn);
+                   trace_event::TxnId &fill_txn) override;
 
-    // Timed transaction state.
+    // --- timed read engine (read_txn.cpp) -------------------------
+
     struct ReadTxn;
     void issueProbe(const std::shared_ptr<ReadTxn> &txn, unsigned index);
     void probeDone(const std::shared_ptr<ReadTxn> &txn, unsigned index,
                    Cycle when);
     void missConfirmed(const std::shared_ptr<ReadTxn> &txn, Cycle when);
     void finishHit(const std::shared_ptr<ReadTxn> &txn, unsigned way,
-                   unsigned probe_index, Cycle when);
+                   unsigned trace_way, unsigned probe_index, Cycle when);
 
-    // Column-associative organization.
-    std::uint64_t primarySlot(LineAddr line) const;
-    std::uint64_t pairSlot(std::uint64_t slot) const;
-    bool slotHolds(std::uint64_t slot, LineAddr line) const;
-    void caSwap(std::uint64_t primary, std::uint64_t secondary);
-    void caInstall(LineAddr line, std::uint64_t primary,
-                   std::uint64_t secondary, bool timed,
-                   trace_event::TxnId parent = trace_event::kNoTxn);
-    bool warmReadCa(LineAddr line);
-    void readCa(LineAddr line, ReadDone done, trace_event::TxnId txn);
+    // --- shared shells --------------------------------------------
 
-    // Writeback helpers shared by both paths.
+    /** Writeback routing shared by both paths. */
     void writebackCommon(LineAddr line, bool timed,
                          trace_event::TxnId txn = trace_event::kNoTxn);
 
     /** Count down to the next periodic self-audit and run it. */
     void maybeAudit();
 
-    /** Column-associative slot-placement checks over a slot range. */
-    void auditCaSlotRange(InvariantAuditor &auditor,
-                          std::uint64_t firstSlot,
-                          std::uint64_t lastSlot) const;
-
     DramCacheParams params;
+
+    /** Registry factory the params resolve to (stable for our lifetime). */
+    const OrgFactory *org_factory_;
+
     core::CacheGeometry geom;
     std::unique_ptr<core::WayPolicy> policy_;
     EventQueue &eq;
@@ -354,16 +201,11 @@ class DramCacheController
     TagStore tags;
     DcpDirectory dcp;
     DramCacheStats stats_;
-    Rng install_rng;
-    std::uint64_t ca_pair_mask = 0;
+    std::unique_ptr<OrgStrategy> org_;
     unsigned in_flight = 0;
 
     /** Transaction tracer (null when tracing is off). */
     trace_event::Tracer *tracer_ = nullptr;
-
-    /** Per-line recency stamps for the LRU ablation (empty if unused). */
-    std::vector<std::uint64_t> lru_stamps;
-    std::uint64_t lru_clock = 0;
 
     /** Demand reads until the next periodic self-audit. */
     std::uint32_t audit_countdown = 0;

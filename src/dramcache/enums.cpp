@@ -1,0 +1,97 @@
+#include "dramcache/enums.hpp"
+
+#include "common/log.hpp"
+
+namespace accord::dramcache
+{
+
+const char *
+toToken(LookupMode mode)
+{
+    // The one switch over LookupMode outside the access-plan core; it
+    // defines the vocabulary everything else (reports, describe(),
+    // factory keys) reuses.
+    switch (mode) {
+      case LookupMode::Serial: return "serial";
+      case LookupMode::Parallel: return "parallel";
+      case LookupMode::Predicted: return "predicted";
+      case LookupMode::Ideal: return "ideal";
+    }
+    fatal("unknown LookupMode %d", static_cast<int>(mode));
+}
+
+const char *
+toToken(Organization org)
+{
+    switch (org) {
+      case Organization::SetAssoc: return "set_assoc";
+      case Organization::ColumnAssoc: return "ca";
+    }
+    fatal("unknown Organization %d", static_cast<int>(org));
+}
+
+const char *
+toToken(L4Replacement repl)
+{
+    switch (repl) {
+      case L4Replacement::Random: return "random";
+      case L4Replacement::Lru: return "lru";
+    }
+    fatal("unknown L4Replacement %d", static_cast<int>(repl));
+}
+
+const char *
+toToken(LayoutMode layout)
+{
+    switch (layout) {
+      case LayoutMode::RowCoLocated: return "row_co_located";
+      case LayoutMode::WayStriped: return "way_striped";
+    }
+    fatal("unknown LayoutMode %d", static_cast<int>(layout));
+}
+
+LookupMode
+lookupModeFromToken(const std::string &token)
+{
+    for (const auto mode :
+         {LookupMode::Serial, LookupMode::Parallel,
+          LookupMode::Predicted, LookupMode::Ideal}) {
+        if (token == toToken(mode))
+            return mode;
+    }
+    fatal("unknown lookup mode '%s'", token.c_str());
+}
+
+Organization
+organizationFromToken(const std::string &token)
+{
+    for (const auto org :
+         {Organization::SetAssoc, Organization::ColumnAssoc}) {
+        if (token == toToken(org))
+            return org;
+    }
+    fatal("unknown organization '%s'", token.c_str());
+}
+
+L4Replacement
+replacementFromToken(const std::string &token)
+{
+    for (const auto repl : {L4Replacement::Random, L4Replacement::Lru}) {
+        if (token == toToken(repl))
+            return repl;
+    }
+    fatal("unknown replacement '%s'", token.c_str());
+}
+
+LayoutMode
+layoutModeFromToken(const std::string &token)
+{
+    for (const auto layout :
+         {LayoutMode::RowCoLocated, LayoutMode::WayStriped}) {
+        if (token == toToken(layout))
+            return layout;
+    }
+    fatal("unknown layout '%s'", token.c_str());
+}
+
+} // namespace accord::dramcache

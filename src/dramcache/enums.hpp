@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DRAM-cache organization enums and their canonical string tokens.
+ *
+ * The token functions here are the single source of truth for every
+ * enum <-> string rendering in the simulator: describe() strings,
+ * canonical run-report config specs, and the name-keyed organization
+ * factory all share them, so a new mode added here is automatically
+ * spelled the same everywhere.
+ */
+
+#ifndef ACCORD_DRAMCACHE_ENUMS_HPP
+#define ACCORD_DRAMCACHE_ENUMS_HPP
+
+#include <string>
+
+#include "dramcache/layout.hpp"
+
+namespace accord::dramcache
+{
+
+/** How lookups locate a line within a set (Section II-C). */
+enum class LookupMode
+{
+    Serial,     ///< probe ways one by one in a fixed order
+    Parallel,   ///< stream all candidate ways per access
+    Predicted,  ///< probe the predicted way first, then the rest
+    Ideal,      ///< magic 1-transfer hit AND miss (Fig 1c bound)
+};
+
+/** Overall array organization. */
+enum class Organization
+{
+    SetAssoc,       ///< ways==1 gives the direct-mapped baseline
+    ColumnAssoc,    ///< hash-rehash with swap-to-primary (CA-cache)
+};
+
+/** Victim selection when no way policy steers installs. */
+enum class L4Replacement
+{
+    /** Update-free random replacement (the paper's choice, II-B4). */
+    Random,
+
+    /**
+     * True LRU.  Because the replacement state lives with the tags in
+     * DRAM, every hit pays an extra line write to update it — the
+     * paper's footnote 2 measures this costing ~9% vs random.
+     */
+    Lru,
+};
+
+/** Canonical token ("serial", "parallel", "predicted", "ideal"). */
+const char *toToken(LookupMode mode);
+
+/** Canonical token ("set_assoc", "ca"). */
+const char *toToken(Organization org);
+
+/** Canonical token ("random", "lru"). */
+const char *toToken(L4Replacement repl);
+
+/** Canonical token ("row_co_located", "way_striped"). */
+const char *toToken(LayoutMode layout);
+
+/** Inverse of toToken(); fatal() on an unknown token. */
+LookupMode lookupModeFromToken(const std::string &token);
+Organization organizationFromToken(const std::string &token);
+L4Replacement replacementFromToken(const std::string &token);
+LayoutMode layoutModeFromToken(const std::string &token);
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_ENUMS_HPP

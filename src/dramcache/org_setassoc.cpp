@@ -1,0 +1,233 @@
+#include "dramcache/org_setassoc.hpp"
+
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "core/predictors.hpp"
+#include "dramcache/audit.hpp"
+#include "dramcache/enums.hpp"
+
+namespace accord::dramcache
+{
+
+core::CacheGeometry
+SetAssocOrg::geometryFor(const DramCacheParams &params)
+{
+    core::CacheGeometry geom;
+    if (params.ways == 0 || params.ways > kMaxWays
+        || !isPow2(params.ways))
+        fatal("dram cache: ways must be a power of two in [1,64]");
+    geom.ways = params.ways;
+    geom.sets = params.capacityBytes / lineSize / params.ways;
+    if (!isPow2(geom.sets))
+        fatal("dram cache: set count must be a power of two");
+    return geom;
+}
+
+SetAssocOrg::SetAssocOrg(const OrgContext &ctx)
+    : OrgStrategy(ctx), install_rng(ctx.params.seed ^ 0x1e57a11ULL)
+{
+    if (ctx_.params.replacement == L4Replacement::Lru) {
+        ACCORD_ASSERT(!ctx_.policy,
+                      "LRU replacement is the unsteered ablation; it "
+                      "cannot be combined with a way policy");
+        lru_stamps.assign(ctx_.geom.lines(), 0);
+    }
+    if (ctx_.policy) {
+        ACCORD_ASSERT(ctx_.policy->geometry().sets == ctx_.geom.sets
+                          && ctx_.policy->geometry().ways
+                              == ctx_.geom.ways,
+                      "policy geometry mismatch");
+        // Wire the oracle for the perfect-prediction bound.
+        if (auto *perfect =
+                dynamic_cast<core::PerfectPolicy *>(ctx_.policy)) {
+            TagStore &tags = ctx_.tags;
+            perfect->setOracle([&tags](const core::LineRef &ref) {
+                return tags.findWay(ref.set, ref.tag);
+            });
+        }
+    }
+}
+
+AccessPlan
+SetAssocOrg::planRead(LineAddr line)
+{
+    return planLookup(core::LineRef::make(line, ctx_.geom), ctx_.policy,
+                      ctx_.geom, ctx_.params.lookup);
+}
+
+AccessPlan
+SetAssocOrg::planDemandLocate(LineAddr line)
+{
+    return planLocate(core::LineRef::make(line, ctx_.geom), ctx_.policy,
+                      ctx_.geom);
+}
+
+void
+SetAssocOrg::onReadHit(const HitContext &hit)
+{
+    const auto ref = core::LineRef::make(hit.line, ctx_.geom);
+    if (ctx_.policy)
+        ctx_.policy->onHit(ref, hit.way);
+    touchReplacement(ref, hit.way, hit.timed, hit.trace);
+    ctx_.dcp.record(hit.line, hit.way);
+}
+
+void
+SetAssocOrg::onReadMiss(const core::LineRef &ref)
+{
+    if (ctx_.policy)
+        ctx_.policy->onMiss(ref);
+}
+
+unsigned
+SetAssocOrg::unsteeredVictim(const core::LineRef &ref)
+{
+    if (ctx_.geom.ways == 1)
+        return 0;
+    if (ctx_.params.replacement == L4Replacement::Random)
+        return static_cast<unsigned>(install_rng.below(ctx_.geom.ways));
+
+    // LRU: prefer an invalid way, else the oldest stamp.
+    unsigned best = 0;
+    std::uint64_t best_stamp = ~std::uint64_t{0};
+    for (unsigned way = 0; way < ctx_.geom.ways; ++way) {
+        if (!ctx_.tags.valid(ref.set, way))
+            return way;
+        const std::uint64_t stamp =
+            lru_stamps[ref.set * ctx_.geom.ways + way];
+        if (stamp < best_stamp) {
+            best_stamp = stamp;
+            best = way;
+        }
+    }
+    return best;
+}
+
+void
+SetAssocOrg::touchReplacement(const core::LineRef &ref, unsigned way,
+                              bool timed, trace_event::TxnId txn)
+{
+    if (ctx_.params.replacement != L4Replacement::Lru)
+        return;
+    lru_stamps[ref.set * ctx_.geom.ways + way] = ++lru_clock;
+    // The recency state lives in the DRAM array next to the tags:
+    // updating it on a hit costs a line write (paper footnote 2).
+    ctx_.stats.replacementUpdateWrites.inc();
+    ctx_.stats.cacheWriteTransfers.inc();
+    if (timed)
+        ctx_.services.cacheOp(ref.set, way, true, {}, false, txn);
+}
+
+SetAssocOrg::InstallResult
+SetAssocOrg::installLine(const core::LineRef &ref)
+{
+    // Two overlapping misses to one line (cores sharing a hashed
+    // region, or a re-reference inside the MLP window) can both reach
+    // the fill path; the second fill must not create a duplicate copy.
+    if (const int existing = ctx_.tags.findWay(ref.set, ref.tag);
+        existing >= 0) {
+        ctx_.dcp.record(ref.line, static_cast<unsigned>(existing));
+        return {static_cast<unsigned>(existing), false, 0};
+    }
+
+    const unsigned way = ctx_.policy ? ctx_.policy->install(ref)
+                                     : unsteeredVictim(ref);
+
+    if (ctx_.params.replacement == L4Replacement::Lru)
+        lru_stamps[ref.set * ctx_.geom.ways + way] = ++lru_clock;
+
+    const TagStore::Victim victim =
+        ctx_.tags.install(ref.set, way, ref.tag, false);
+    if (ctx_.policy)
+        ctx_.policy->onInstall(ref, way);
+
+    ctx_.stats.cacheWriteTransfers.inc();   // the fill write
+    ctx_.dcp.record(ref.line, way);
+
+    InstallResult result;
+    result.way = way;
+    if (victim.valid) {
+        const LineAddr victim_line =
+            (victim.tag << ctx_.geom.setBits()) | ref.set;
+        ctx_.dcp.erase(victim_line);
+        if (victim.dirty) {
+            ctx_.stats.nvmWrites.inc();
+            result.victimDirty = true;
+            result.victimLine = victim_line;
+        }
+    }
+    return result;
+}
+
+void
+SetAssocOrg::installAfterMiss(LineAddr line, bool timed,
+                              trace_event::TxnId parent)
+{
+    // Fill off the critical path: functional install now, the array
+    // write and any victim writeback posted on the devices when
+    // timed.  The fill is its own trace transaction (the demand read
+    // already completed) grouped over its member ops.
+    trace_event::TxnId fill_txn = trace_event::kNoTxn;
+    auto member = ctx_.services.beginFillGroup(parent, line, fill_txn);
+    const auto ref = core::LineRef::make(line, ctx_.geom);
+    const InstallResult fill = installLine(ref);
+    if (timed)
+        ctx_.services.cacheOp(ref.set, fill.way, true, member(), false,
+                              fill_txn);
+    if (fill.victimDirty && timed)
+        ctx_.services.nvmWrite(fill.victimLine, member(), fill_txn);
+}
+
+DcpTarget
+SetAssocOrg::dcpTarget(LineAddr line, unsigned selector) const
+{
+    const auto ref = core::LineRef::make(line, ctx_.geom);
+    DcpTarget target;
+    target.set = ref.set;
+    target.way = selector;
+    target.present = ctx_.tags.valid(ref.set, selector)
+        && ctx_.tags.tag(ref.set, selector) == ref.tag;
+    return target;
+}
+
+void
+SetAssocOrg::auditRange(InvariantAuditor &auditor,
+                        std::uint64_t firstSet,
+                        std::uint64_t lastSet) const
+{
+    if (ctx_.policy) {
+        auditPlacementRange(ctx_.tags, *ctx_.policy, auditor, firstSet,
+                            lastSet);
+        // Policy tables are global, not per-set; audit them once per
+        // rotation instead of once per window.
+        if (firstSet == 0)
+            ctx_.policy->audit(auditor);
+    }
+    auditDcpForward(ctx_.dcp, ctx_.tags, auditor, firstSet, lastSet);
+}
+
+void
+SetAssocOrg::auditFull(InvariantAuditor &auditor) const
+{
+    if (ctx_.policy) {
+        auditPlacement(ctx_.tags, *ctx_.policy, auditor);
+        ctx_.policy->audit(auditor);
+    }
+    auditDcp(ctx_.dcp, ctx_.tags, auditor);
+}
+
+std::string
+SetAssocOrg::describe() const
+{
+    if (ctx_.geom.ways == 1)
+        return "direct-mapped";
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%u-way %s %s", ctx_.geom.ways,
+                  ctx_.policy ? ctx_.policy->name().c_str() : "rand",
+                  toToken(ctx_.params.lookup));
+    return buf;
+}
+
+} // namespace accord::dramcache

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Set-associative organization (ways==1 is the direct-mapped baseline).
+ *
+ * Owns everything specific to tag-matched way placement: the probe
+ * plans (via the access-plan core), way-policy feedback, steered and
+ * unsteered victim selection (random or the LRU-in-DRAM ablation),
+ * and install/eviction bookkeeping.
+ */
+
+#ifndef ACCORD_DRAMCACHE_ORG_SETASSOC_HPP
+#define ACCORD_DRAMCACHE_ORG_SETASSOC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dramcache/organization.hpp"
+
+namespace accord::dramcache
+{
+
+/** Set-associative / direct-mapped strategy. */
+class SetAssocOrg : public OrgStrategy
+{
+  public:
+    explicit SetAssocOrg(const OrgContext &ctx);
+
+    AccessPlan planRead(LineAddr line) override;
+    AccessPlan planDemandLocate(LineAddr line) override;
+    void onReadHit(const HitContext &hit) override;
+    void onReadMiss(const core::LineRef &ref) override;
+    void installAfterMiss(LineAddr line, bool timed,
+                          trace_event::TxnId parent) override;
+    DcpTarget dcpTarget(LineAddr line, unsigned selector) const override;
+    void auditRange(InvariantAuditor &auditor, std::uint64_t firstSet,
+                    std::uint64_t lastSet) const override;
+    void auditFull(InvariantAuditor &auditor) const override;
+    std::string describe() const override;
+
+    /** Array geometry for the given params (validates ways/sets). */
+    static core::CacheGeometry geometryFor(const DramCacheParams &params);
+
+  private:
+    /** What an install did, for the timed path to mirror on devices. */
+    struct InstallResult
+    {
+        unsigned way = 0;
+        bool victimDirty = false;
+        LineAddr victimLine = 0;
+    };
+
+    /** Shared install bookkeeping (tag store, policy, DCP, counters). */
+    InstallResult installLine(const core::LineRef &ref);
+
+    /** Victim way for an unsteered install (random or LRU). */
+    unsigned unsteeredVictim(const core::LineRef &ref);
+
+    /**
+     * LRU bookkeeping on a hit: stamps the way and charges the
+     * in-DRAM replacement-state write (timed path issues it too).
+     */
+    void touchReplacement(const core::LineRef &ref, unsigned way,
+                          bool timed, trace_event::TxnId txn);
+
+    Rng install_rng;
+
+    /** Per-line recency stamps for the LRU ablation (empty if unused). */
+    std::vector<std::uint64_t> lru_stamps;
+    std::uint64_t lru_clock = 0;
+};
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_ORG_SETASSOC_HPP

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The Organization strategy interface of the DRAM cache.
+ *
+ * An Organization decides WHERE lines live and WHAT state changes on
+ * each outcome: probe placement (via the access-plan core), hit
+ * bookkeeping (policy feedback, replacement state, DCP updates),
+ * install/eviction, and writeback routing.  The controller keeps the
+ * WHEN: event scheduling, device issue, tracing, and latency stats.
+ *
+ * Concrete strategies (set-associative, column-associative, or any
+ * new organization) register themselves by name in
+ * organizationRegistry(); the controller constructs whichever one the
+ * config names, so adding an organization never touches the
+ * controller or the plan core.
+ */
+
+#ifndef ACCORD_DRAMCACHE_ORGANIZATION_HPP
+#define ACCORD_DRAMCACHE_ORGANIZATION_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/invariant_auditor.hpp"
+#include "common/trace_event/trace_event.hpp"
+#include "core/factory.hpp"
+#include "core/way_policy.hpp"
+#include "dram/mem_op.hpp"
+#include "dramcache/access_plan.hpp"
+#include "dramcache/dcp.hpp"
+#include "dramcache/params.hpp"
+#include "dramcache/tag_store.hpp"
+
+namespace accord::dramcache
+{
+
+/**
+ * Timed-device services the controller lends its organization:
+ * everything an install or swap needs to mirror functional state
+ * changes onto the stacked-DRAM array and the NVM below it.  The
+ * functional path never calls these (timed == false everywhere).
+ */
+class OrgServices
+{
+  public:
+    /** Issue a timed read/write of one way unit of a set. */
+    virtual void cacheOp(std::uint64_t set, unsigned way, bool is_write,
+                         dram::MemCallback on_complete = {},
+                         bool priority = false,
+                         trace_event::TxnId txn = trace_event::kNoTxn)
+        = 0;
+
+    /** Timed line write to the NVM main memory. */
+    virtual void nvmWrite(LineAddr line, dram::MemCallback on_complete,
+                          trace_event::TxnId txn)
+        = 0;
+
+    /**
+     * Start a posted Fill trace transaction (kNoTxn when the parent
+     * read is untraced) and return a completion-callback factory:
+     * each call registers one member op, and the transaction
+     * completes when the last member finishes.
+     */
+    virtual std::function<dram::MemCallback()>
+    beginFillGroup(trace_event::TxnId parent, LineAddr line,
+                   trace_event::TxnId &fill_txn)
+        = 0;
+
+  protected:
+    ~OrgServices() = default;
+};
+
+/** Shared state an organization operates on, owned by the controller. */
+struct OrgContext
+{
+    const DramCacheParams &params;
+    const core::CacheGeometry &geom;
+    TagStore &tags;
+    DcpDirectory &dcp;
+    DramCacheStats &stats;
+    core::WayPolicy *policy;
+    OrgServices &services;
+};
+
+/** One resolved read hit, as the engine reports it to the strategy. */
+struct HitContext
+{
+    LineAddr line = 0;
+    std::uint64_t set = 0;
+    unsigned way = 0;
+    unsigned probeIndex = 0;
+    bool timed = false;
+    trace_event::TxnId trace = trace_event::kNoTxn;
+};
+
+/** Where a DCP entry routes a writeback. */
+struct DcpTarget
+{
+    std::uint64_t set = 0;
+    unsigned way = 0;
+    bool present = false;
+};
+
+/** A cache organization strategy (set-assoc, CA, ...). */
+class OrgStrategy
+{
+  public:
+    explicit OrgStrategy(const OrgContext &ctx) : ctx_(ctx) {}
+    virtual ~OrgStrategy() = default;
+
+    OrgStrategy(const OrgStrategy &) = delete;
+    OrgStrategy &operator=(const OrgStrategy &) = delete;
+
+    /** Lookup plan for a demand read of `line`. */
+    virtual AccessPlan planRead(LineAddr line) = 0;
+
+    /**
+     * Probe plan for locating `line` on a writeback without DCP way
+     * bits: always a chained sweep, independent of the lookup mode.
+     */
+    virtual AccessPlan planDemandLocate(LineAddr line) = 0;
+
+    /**
+     * A read hit resolved: update policy feedback, replacement state,
+     * and the DCP.  Runs before the engine completes the transaction.
+     */
+    virtual void onReadHit(const HitContext &hit) = 0;
+
+    /**
+     * Post-completion hit work off the critical path (the CA-cache
+     * swap-to-primary).  Runs after the demand read's callback.
+     */
+    virtual void afterReadHit(const HitContext &hit) { (void)hit; }
+
+    /** A read miss confirmed (policy feedback). */
+    virtual void onReadMiss(const core::LineRef &ref) { (void)ref; }
+
+    /**
+     * Install `line` after a confirmed miss: functional tag/DCP/stat
+     * updates always; array writes and victim writebacks mirrored on
+     * the devices when `timed`.
+     */
+    virtual void installAfterMiss(LineAddr line, bool timed,
+                                  trace_event::TxnId parent)
+        = 0;
+
+    /** Resolve a DCP entry's way/slot selector for writeback routing. */
+    virtual DcpTarget dcpTarget(LineAddr line, unsigned selector) const
+        = 0;
+
+    /**
+     * Organization-specific invariants over sets [firstSet, lastSet)
+     * — the bounded slice the periodic self-audit rotates.
+     */
+    virtual void auditRange(InvariantAuditor &auditor,
+                            std::uint64_t firstSet,
+                            std::uint64_t lastSet) const
+    {
+        (void)auditor;
+        (void)firstSet;
+        (void)lastSet;
+    }
+
+    /** Full-sweep invariants (adds global checks auditRange cannot see). */
+    virtual void auditFull(InvariantAuditor &auditor) const
+    {
+        auditRange(auditor, 0, ctx_.geom.sets);
+    }
+
+    /** Short human description ("dm", "2-way pws+gws predicted"). */
+    virtual std::string describe() const = 0;
+
+  protected:
+    OrgContext ctx_;
+};
+
+/** Name-keyed constructor pair for one organization. */
+struct OrgFactory
+{
+    /** Array geometry this organization imposes on the params. */
+    std::function<core::CacheGeometry(const DramCacheParams &)> geometry;
+
+    /** Build the strategy over the controller's shared state. */
+    std::function<std::unique_ptr<OrgStrategy>(const OrgContext &)> make;
+};
+
+/** The process-wide organization registry. */
+core::NamedRegistry<OrgFactory> &organizationRegistry();
+
+/**
+ * Ensure the built-in organizations ("set_assoc", "ca") are
+ * registered.  Idempotent; the controller calls it before resolving
+ * its factory so registration order never matters.
+ */
+void registerBuiltinOrganizations();
+
+} // namespace accord::dramcache
+
+#endif // ACCORD_DRAMCACHE_ORGANIZATION_HPP

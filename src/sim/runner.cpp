@@ -61,26 +61,12 @@ canonicalConfigSpec(const SystemConfig &config)
     spec += " scale=" + u64(config.scale);
     spec += " cache_bytes=" + u64(config.cacheBytes());
     spec += " ways=" + u64(config.ways);
-    spec += std::string(" org=")
-        + (config.org == dramcache::Organization::ColumnAssoc
-               ? "ca" : "set_assoc");
-    switch (config.lookup) {
-    case dramcache::LookupMode::Serial: spec += " lookup=serial"; break;
-    case dramcache::LookupMode::Parallel:
-        spec += " lookup=parallel";
-        break;
-    case dramcache::LookupMode::Predicted:
-        spec += " lookup=predicted";
-        break;
-    case dramcache::LookupMode::Ideal: spec += " lookup=ideal"; break;
-    }
+    spec += std::string(" org=") + dramcache::toToken(config.org);
+    spec += std::string(" lookup=") + dramcache::toToken(config.lookup);
     spec += std::string(" dcp=") + (config.dcpWayBits ? "1" : "0");
     spec += std::string(" repl=")
-        + (config.replacement == dramcache::L4Replacement::Lru
-               ? "lru" : "random");
-    spec += std::string(" layout=")
-        + (config.layout == dramcache::LayoutMode::RowCoLocated
-               ? "row_co_located" : "way_striped");
+        + dramcache::toToken(config.replacement);
+    spec += std::string(" layout=") + dramcache::toToken(config.layout);
     spec += std::string(" mem=")
         + (config.nvmMainMemory ? "nvm" : "ddr");
     spec += " policy="

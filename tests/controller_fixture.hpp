@@ -26,20 +26,30 @@ struct MiniSystem
                dramcache::Organization org =
                    dramcache::Organization::SetAssoc,
                bool dcp_way_bits = true)
+        : MiniSystem(
+              [&] {
+                  dramcache::DramCacheParams params;
+                  params.capacityBytes = capacity;
+                  params.ways = ways;
+                  params.org = org;
+                  params.lookup = lookup;
+                  params.dcpWayBits = dcp_way_bits;
+                  params.seed = 99;
+                  return params;
+              }(),
+              policy_spec)
     {
-        dramcache::DramCacheParams params;
-        params.capacityBytes = capacity;
-        params.ways = ways;
-        params.org = org;
-        params.lookup = lookup;
-        params.dcpWayBits = dcp_way_bits;
-        params.seed = 99;
+    }
 
+    /** Full-params overload (orgName, replacement, audit settings). */
+    MiniSystem(const dramcache::DramCacheParams &params,
+               const std::string &policy_spec)
+    {
         std::unique_ptr<core::WayPolicy> policy;
         if (!policy_spec.empty()) {
             core::CacheGeometry geom;
-            geom.ways = ways;
-            geom.sets = capacity / lineSize / ways;
+            geom.ways = params.ways;
+            geom.sets = params.capacityBytes / lineSize / params.ways;
             core::PolicyOptions opts;
             opts.seed = 4242;
             policy = core::makePolicy(policy_spec, geom, opts);

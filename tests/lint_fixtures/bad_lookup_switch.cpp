@@ -1,0 +1,18 @@
+// Fixture: LookupMode dispatch outside the access-plan core.
+// expect: lookup-switch
+
+namespace accord::dramcache
+{
+enum class LookupMode { Serial, Parallel, Predicted, Ideal };
+
+unsigned
+transfersForHit(LookupMode lookup, unsigned pos, unsigned count)
+{
+    // A re-grown per-mode branch: the warm/timed divergence bug class.
+    switch (lookup) {
+      case LookupMode::Parallel: return count;
+      case LookupMode::Ideal: return 1;
+      default: return pos + 1;
+    }
+}
+} // namespace accord::dramcache

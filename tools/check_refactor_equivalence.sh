@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Refactor-equivalence gate: run the representative smoke benches and
+# diff their run reports against the checked-in pre-refactor baselines
+# at ZERO tolerance, at jobs=1 and jobs=3.
+#
+# The baselines under tests/baselines/refactor_equiv/ were captured
+# from the pre-plan-core controller; any numeric drift — a reordered
+# rng draw, a miscounted transfer, a jobs-dependent reduction — fails
+# this gate byte-for-byte.
+#
+# Usage: tools/check_refactor_equivalence.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+BASELINES="$ROOT/tests/baselines/refactor_equiv"
+WORKDIR="$BUILD/refactor_equiv"
+mkdir -p "$WORKDIR"
+
+status=0
+check() {
+    local baseline="$1" out="$2" label="$3"
+    if python3 "$ROOT/tools/compare_reports.py" --rtol 0 --atol 0 \
+        "$baseline" "$out"; then
+        echo "OK   $label"
+    else
+        echo "FAIL $label"
+        status=1
+    fi
+}
+
+for baseline in "$BASELINES"/*.json; do
+    name="$(basename "$baseline" .json)"
+    if [ "$name" = "bench_tab01_lookup_costs" ]; then
+        # Analytic table: no sweep, and it rejects unused config keys
+        # (no cores/jobs), so one run covers it.
+        out="$WORKDIR/$name.json"
+        "$BUILD/bench/$name" scale=4096 --json="$out" > /dev/null
+        check "$baseline" "$out" "$name"
+        continue
+    fi
+    for jobs in 1 3; do
+        out="$WORKDIR/$name.j$jobs.json"
+        "$BUILD/bench/$name" scale=4096 cores=2 warm=2000 \
+            measure=4000 timed=1500 jobs="$jobs" --json="$out" \
+            > /dev/null
+        check "$baseline" "$out" "$name jobs=$jobs"
+    done
+done
+exit $status

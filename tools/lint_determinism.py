@@ -41,6 +41,13 @@ Rules
     results must flow through the report layer (``report::Reporter``
     tables and notes) so the printed numbers and the machine-readable
     JSON/CSV can never diverge.  ``snprintf`` into a label is fine.
+``lookup-switch``
+    A ``switch``/``case`` over ``dramcache::LookupMode`` outside the
+    access-plan core (``src/dramcache/access_plan.cpp``) and the token
+    table (``src/dramcache/enums.cpp``): lookup dispatch must stay in
+    ``planLookup()`` so the warm and timed paths cannot re-grow
+    divergent per-mode branches — the exact bug class the plan-core
+    refactor removed.
 
 Escape hatch: a ``// lint: allow(<rule>)`` comment on the offending
 line or the line directly above suppresses that rule there.  Use it
@@ -72,6 +79,13 @@ FIXTURE_DIR_NAME = "lint_fixtures"
 
 # Files where std::* engines are allowed (the one seeded wrapper).
 ENGINE_ALLOWLIST = ("src/common/rng.hpp",)
+
+# Files allowed to dispatch on LookupMode: the plan core (the ONE
+# lookup switch) and the canonical enum<->token table.
+LOOKUP_SWITCH_ALLOWLIST = (
+    "src/dramcache/access_plan.cpp",
+    "src/dramcache/enums.cpp",
+)
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
@@ -137,6 +151,17 @@ ENGINE_RULE = (
     ),
     "std random engines bypass the deterministic accord::Rng; only "
     "src/common/rng.hpp may wrap one",
+)
+
+LOOKUP_SWITCH_RULE = (
+    "lookup-switch",
+    re.compile(
+        r"\bcase\s+(?:\w+::)*LookupMode\s*::"
+        r"|\bswitch\s*\([^)]*\blookup\b[^)]*\)"
+    ),
+    "LookupMode dispatch belongs in the access-plan core "
+    "(planLookup); branching on the mode elsewhere re-creates the "
+    "divergent warm/timed lookup paths the plan refactor removed",
 )
 
 CLOCK_NOW_RE = re.compile(r"_clock\s*::\s*now\s*\(")
@@ -242,6 +267,9 @@ def lint_file(path, rel):
     allows = collect_allows(raw_lines)
     violations = []
     engines_allowed = any(rel.endswith(a) for a in ENGINE_ALLOWLIST)
+    lookup_switch_allowed = any(
+        rel.endswith(a) for a in LOOKUP_SWITCH_ALLOWLIST
+    )
     report_only = any(
         d in pathlib.PurePath(rel).parts for d in REPORT_ONLY_DIRS
     )
@@ -268,6 +296,14 @@ def lint_file(path, rel):
         rule, regex, message = ENGINE_RULE
         if (
             not engines_allowed
+            and regex.search(code)
+            and not is_allowed(allows, lineno, rule)
+        ):
+            violations.append(Violation(rel, lineno, rule, message))
+
+        rule, regex, message = LOOKUP_SWITCH_RULE
+        if (
+            not lookup_switch_allowed
             and regex.search(code)
             and not is_allowed(allows, lineno, rule)
         ):
