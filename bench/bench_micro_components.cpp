@@ -167,6 +167,34 @@ BM_EventQueue(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
 }
 
+/** Same-cycle bursts: the calendar bucket's FIFO append/pop path. */
+void
+BM_EventQueueBurst(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 8; ++i)
+            eq.scheduleAfter(4, [&sink] { ++sink; });
+        for (int i = 0; i < 8; ++i)
+            eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+
+/** Beyond-horizon delays: overflow-heap push plus migration. */
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.scheduleAfter(EventQueue::kBuckets + 3, [&sink] { ++sink; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+
 BENCHMARK(BM_PolicyPws);
 BENCHMARK(BM_PolicyPwsGws);
 BENCHMARK(BM_PolicySws);
@@ -177,6 +205,8 @@ BENCHMARK(BM_Rng);
 BENCHMARK(BM_TraceHookOff);
 BENCHMARK(BM_TraceHookOn);
 BENCHMARK(BM_EventQueue);
+BENCHMARK(BM_EventQueueBurst);
+BENCHMARK(BM_EventQueueFarFuture);
 
 } // namespace
 

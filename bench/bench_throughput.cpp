@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Host-side throughput harness: how fast does the simulator simulate?
+ *
+ * Unlike every other bench (which regenerates a paper table/figure and
+ * must be byte-stable), this one measures wall-clock performance of
+ * the engine itself: simulated demand reads per host second and —
+ * for timed runs — discrete events executed per host second, across
+ * three harness modes:
+ *
+ *   warm    functional-only run (untimed warm + measurement phases)
+ *   timed   full timed run (the event-queue/controller hot path)
+ *   traced  timed run with the transaction tracer attached
+ *
+ * Each mode runs `reps=` times (default 3) and the report records the
+ * best rep, so transient host noise cannot fake a regression.  The
+ * committed baseline (BENCH_throughput.json) and the CI gate
+ * (tools/check_perf_regression.py) build on the `*_per_sec_best`
+ * run values emitted here; docs/PERFORMANCE.md explains the policy.
+ *
+ * The wall-clock values obviously differ host-to-host and run-to-run,
+ * so this bench is deliberately NOT part of the report-stability or
+ * refactor-equivalence gates.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace accord;
+
+namespace
+{
+
+/** One harness mode: which phases run and whether tracing is on. */
+struct Mode
+{
+    const char *name;
+    bool timed;
+    bool traced;
+};
+
+constexpr Mode kModes[] = {
+    {"warm", false, false},
+    {"timed", true, false},
+    {"traced", true, true},
+};
+
+/** One repetition's wall-clock measurements. */
+struct Rep
+{
+    double wallSec = 0.0;
+    double reads = 0.0;
+    double events = 0.0;
+
+    double readsPerSec() const
+        { return wallSec > 0.0 ? reads / wallSec : 0.0; }
+    double eventsPerSec() const
+        { return wallSec > 0.0 ? events / wallSec : 0.0; }
+};
+
+/** Run one configuration once and time it end to end. */
+Rep
+timeOne(const sim::SystemConfig &config)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const sim::SystemMetrics m = sim::runSystem(config);
+    const auto stop = std::chrono::steady_clock::now();
+
+    Rep rep;
+    rep.wallSec = std::chrono::duration<double>(stop - start).count();
+    rep.reads = static_cast<double>(m.cacheStats.readHits.total());
+    rep.events = static_cast<double>(m.eventsExecuted);
+    return rep;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report::Reporter rep(
+        argc, argv,
+        "Host throughput: simulated reads/sec and events/sec",
+        "performance harness (no paper figure)");
+
+    const std::string workload =
+        rep.cli().getString("workload", "libq");
+    const std::string config_name =
+        rep.cli().getString("config", "2way-pws+gws");
+    const auto reps =
+        static_cast<unsigned>(rep.cli().getUint("reps", 3));
+
+    report::ReportTable &table = rep.table(
+        "throughput",
+        {"mode", "rep", "wall_s", "reads", "reads/s", "events",
+         "events/s"});
+
+    for (const Mode &mode : kModes) {
+        sim::SystemConfig config =
+            sim::namedConfig(workload, config_name);
+        config.runTimed = mode.timed;
+        if (mode.traced) {
+            // Exercise the tracer hot path without keeping (or
+            // writing) the full trace: bounded ring, bit-bucket sink.
+            config.tracePath = "/dev/null";
+            config.traceCap = 4096;
+        }
+        sim::applyCliOverrides(config, rep.cli());
+
+        Rep best;
+        for (unsigned r = 0; r < reps; ++r) {
+            const Rep sample = timeOne(config);
+            table.row()
+                .cell(std::string(mode.name))
+                .cell(static_cast<std::uint64_t>(r))
+                .cell(sample.wallSec, 3)
+                .cell(sample.reads, 0)
+                .cell(sample.readsPerSec(), 0)
+                .cell(sample.events, 0)
+                .cell(sample.eventsPerSec(), 0);
+            if (sample.readsPerSec() > best.readsPerSec())
+                best = sample;
+        }
+        table.row()
+            .cell(std::string(mode.name) + " best")
+            .cell(static_cast<std::uint64_t>(reps))
+            .cell(best.wallSec, 3)
+            .cell(best.reads, 0)
+            .cell(best.readsPerSec(), 0)
+            .cell(best.events, 0)
+            .cell(best.eventsPerSec(), 0);
+
+        // The regression gate keys off these run values; the spec
+        // documents the simulated configuration they were measured on.
+        const std::string key =
+            workload + "/" + std::string(mode.name);
+        report::RunReport &report = rep.report();
+        report.setRunSpec(key, sim::canonicalConfigSpec(config));
+        report.addRunValue(key, "reps",
+                           static_cast<double>(reps));
+        report.addRunValue(key, "wall_s_best", best.wallSec);
+        report.addRunValue(key, "reads_per_sec_best",
+                           best.readsPerSec());
+        if (mode.timed)
+            report.addRunValue(key, "events_per_sec_best",
+                               best.eventsPerSec());
+    }
+
+    rep.note("best-of-%u reps per mode; regression gate: "
+             "tools/check_perf_regression.py", reps);
+    return rep.finish();
+}

@@ -6,14 +6,28 @@
  * cache controller) share one EventQueue and schedule callbacks at
  * absolute cycle times.  Events at the same cycle run in scheduling
  * order (FIFO), which keeps runs deterministic.
+ *
+ * Internally the queue is a bucketed calendar (timing wheel): events
+ * within kBuckets cycles of now() append O(1) to a per-cycle FIFO
+ * list of arena-recycled nodes, and only far-future events (rare —
+ * the DRAM/NVM timing constants are all far below the horizon) fall
+ * back to a binary heap.  Callbacks are stored in an EventCallback
+ * whose inline buffer fits every capture the simulator schedules, so
+ * the common path performs no heap allocation at all.  Execution
+ * order is IDENTICAL to the historical priority-queue implementation
+ * — (when, schedule order) — which the refactor-equivalence gate
+ * (byte-identical run reports) depends on.
  */
 
 #ifndef ACCORD_COMMON_EVENT_QUEUE_HPP
 #define ACCORD_COMMON_EVENT_QUEUE_HPP
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -21,11 +35,133 @@
 namespace accord
 {
 
+/**
+ * Move-only type-erased `void()` callable with a small-buffer
+ * optimization sized for the simulator's event captures (a couple of
+ * pointers, a shared_ptr, a cycle).  Larger captures still work; they
+ * transparently spill to the heap.
+ */
+class EventCallback
+{
+  public:
+    /** Inline capture capacity; the largest scheduled lambda fits. */
+    static constexpr std::size_t kInlineBytes = 56;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(storage_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &kHeapOps<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    /** Destroy the held callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *storage);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes
+            && alignof(Fn) <= alignof(std::max_align_t)
+            && std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static inline const Ops kInlineOps = {
+        [](void *storage) { (*static_cast<Fn *>(storage))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *storage) { static_cast<Fn *>(storage)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static inline const Ops kHeapOps = {
+        [](void *storage) { (**static_cast<Fn **>(storage))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn *(*static_cast<Fn **>(src));
+        },
+        [](void *storage) { delete *static_cast<Fn **>(storage); },
+    };
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
 /** Discrete-event queue in the CPU cycle domain. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
+
+    EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulation time. */
     Cycle now() const { return now_; }
@@ -40,10 +176,10 @@ class EventQueue
     }
 
     /** True if no events remain. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return events.size(); }
+    std::size_t size() const { return pending_; }
 
     /** Run a single event; returns false if the queue was empty. */
     bool step();
@@ -71,18 +207,43 @@ class EventQueue
     /** Total events executed (for perf sanity checks). */
     std::uint64_t executed() const { return executed_; }
 
+    /** Calendar horizon: near events bucket, farther ones overflow. */
+    static constexpr std::size_t kBuckets = 4096;
+
   private:
-    struct Event
+    static_assert((kBuckets & (kBuckets - 1)) == 0,
+                  "bucket count must be a power of two");
+    static constexpr Cycle kMask = kBuckets - 1;
+    static constexpr std::size_t kChunkNodes = 256;
+
+    /** One scheduled event; nodes are recycled through a freelist. */
+    struct Node
+    {
+        Cycle when = 0;
+        Node *next = nullptr;
+        EventCallback cb;
+    };
+
+    /** FIFO list of one cycle's events. */
+    struct Bucket
+    {
+        Node *head = nullptr;
+        Node *tail = nullptr;
+    };
+
+    /** Far-future event awaiting migration into the calendar. */
+    struct Overflow
     {
         Cycle when;
         std::uint64_t seq;
-        Callback callback;
+        EventCallback cb;
     };
 
-    struct Later
+    /** Min-heap order on (when, schedule order). */
+    struct OverflowLater
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const Overflow &a, const Overflow &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -90,9 +251,35 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Node *allocNode();
+    void freeNode(Node *node);
+    void appendBucketed(Node *node);
+
+    /**
+     * Advance now_ to the next pending cycle (current bucket empty)
+     * and migrate newly in-horizon overflow events into the calendar.
+     */
+    void advance();
+
+    /** Earliest bucketed cycle > now_ (requires bucketed_ > 0). */
+    Cycle nextBucketedCycle() const;
+
+    std::vector<Bucket> buckets_;
+
+    /** One bit per bucket: set iff the bucket is non-empty. */
+    std::vector<std::uint64_t> occupancy_;
+
+    /** Binary heap (via std::push_heap) of beyond-horizon events. */
+    std::vector<Overflow> overflow_;
+
+    /** Node arena: chunks own storage, freelist links recycled nodes. */
+    std::vector<std::unique_ptr<Node[]>> chunks_;
+    Node *free_nodes_ = nullptr;
+
+    std::size_t pending_ = 0;
+    std::size_t bucketed_ = 0;
     Cycle now_ = 0;
-    std::uint64_t next_seq = 0;
+    std::uint64_t overflow_seq_ = 0;
     std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fixed-block freelist arena for hot-path allocations.
+ *
+ * A BlockPool recycles same-sized blocks through a freelist backed by
+ * chunked arena storage, so steady-state allocation is a pointer pop
+ * — no malloc, no lock (each pool belongs to one single-threaded
+ * component, like the EventQueue's node arena or a controller's
+ * transaction pool).  PoolAllocator adapts a pool to the standard
+ * allocator interface so std::allocate_shared can place an object and
+ * its control block in one pooled allocation; odd-sized requests fall
+ * through to operator new, keeping the adapter safe for any rebound
+ * type.
+ *
+ * PoolAllocator shares ownership of its pool: every live allocation's
+ * control block holds an allocator copy, so the arena stays valid
+ * until the last pooled object dies — even past the pool's primary
+ * owner (e.g. events still queued when a controller is torn down).
+ */
+
+#ifndef ACCORD_COMMON_OBJECT_POOL_HPP
+#define ACCORD_COMMON_OBJECT_POOL_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace accord
+{
+
+/** Freelist of uniform blocks; the size locks in on first use. */
+class BlockPool
+{
+  public:
+    /** @param blocks_per_chunk arena growth granularity */
+    explicit BlockPool(std::size_t blocks_per_chunk = 64)
+        : chunk_blocks_(blocks_per_chunk)
+    {
+        ACCORD_ASSERT(blocks_per_chunk > 0,
+                      "pool chunks must hold at least one block");
+    }
+
+    BlockPool(const BlockPool &) = delete;
+    BlockPool &operator=(const BlockPool &) = delete;
+
+    /** Block size the pool serves (0 until the first take()). */
+    std::size_t blockSize() const { return block_size_; }
+
+    /** Blocks currently live (taken and not yet given back). */
+    std::size_t live() const { return live_; }
+
+    /**
+     * Pop a block of `size` bytes.  The first call fixes the pool's
+     * block size; later calls must match it (allocate_shared always
+     * does — every allocation is the same node type).
+     */
+    void *
+    take(std::size_t size)
+    {
+        if (block_size_ == 0) {
+            // Round up so every block can host any max-aligned type.
+            constexpr std::size_t align = alignof(std::max_align_t);
+            block_size_ = (size + align - 1) / align * align;
+        }
+        ACCORD_ASSERT(size <= block_size_,
+                      "pool block size mismatch (%zu > %zu)", size,
+                      block_size_);
+        if (free_ == nullptr)
+            grow();
+        FreeNode *node = free_;
+        free_ = node->next;
+        ++live_;
+        return node;
+    }
+
+    /** Return a block obtained from take(). */
+    void
+    give(void *block)
+    {
+        ACCORD_ASSERT(live_ > 0, "pool freed more blocks than taken");
+        auto *node = static_cast<FreeNode *>(block);
+        node->next = free_;
+        free_ = node;
+        --live_;
+    }
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    void
+    grow()
+    {
+        const std::size_t bytes = block_size_ * chunk_blocks_;
+        chunks_.push_back(std::make_unique<unsigned char[]>(bytes));
+        unsigned char *base = chunks_.back().get();
+        for (std::size_t i = chunk_blocks_; i-- > 0;) {
+            auto *node =
+                reinterpret_cast<FreeNode *>(base + i * block_size_);
+            node->next = free_;
+            free_ = node;
+        }
+    }
+
+    std::size_t chunk_blocks_;
+    std::size_t block_size_ = 0;
+    std::size_t live_ = 0;
+    FreeNode *free_ = nullptr;
+    std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+};
+
+/**
+ * Standard-allocator shim over a BlockPool.  Single-object
+ * allocations of the pool's (first-seen) size recycle through the
+ * freelist; anything else — array allocations, or a second rebound
+ * type of a different size — uses plain operator new, chosen by size
+ * again at deallocation so the two paths can never mix.
+ */
+template <typename T>
+struct PoolAllocator
+{
+    using value_type = T;
+
+    explicit PoolAllocator(std::shared_ptr<BlockPool> pool)
+        : pool(std::move(pool))
+    {
+        ACCORD_ASSERT(this->pool != nullptr,
+                      "pool allocator needs a pool");
+    }
+
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &other) // NOLINT
+        : pool(other.pool)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (n == 1 && poolable(bytes))
+            return static_cast<T *>(pool->take(bytes));
+        return static_cast<T *>(::operator new(bytes));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (n == 1 && poolable(bytes)) {
+            pool->give(p);
+            return;
+        }
+        ::operator delete(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &other) const
+    {
+        return pool == other.pool;
+    }
+
+    template <typename U>
+    bool
+    operator!=(const PoolAllocator<U> &other) const
+    {
+        return pool != other.pool;
+    }
+
+    std::shared_ptr<BlockPool> pool;
+
+  private:
+    bool
+    poolable(std::size_t bytes) const
+    {
+        return pool->blockSize() == 0 || bytes <= pool->blockSize();
+    }
+};
+
+} // namespace accord
+
+#endif // ACCORD_COMMON_OBJECT_POOL_HPP

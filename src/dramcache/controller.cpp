@@ -1,12 +1,14 @@
 #include "dramcache/controller.hpp"
 
 #include <algorithm>
+#include <typeinfo>
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/trace_event/tracer.hpp"
 #include "dramcache/access_plan.hpp"
 #include "dramcache/audit.hpp"
+#include "dramcache/org_setassoc.hpp"
 
 namespace accord::dramcache
 {
@@ -100,6 +102,12 @@ DramCacheController::DramCacheController(
                   "organization geometry exceeds the plan-core bound");
     org_ = org_factory_->make(OrgContext{this->params, geom, tags, dcp,
                                          stats_, policy_.get(), *this});
+    // Exact-type check, not dynamic_cast: a registry plug-in derived
+    // from SetAssocOrg must keep virtual dispatch so its overrides
+    // run; only the built-in itself takes the qualified-call path.
+    setassoc_ = typeid(*org_) == typeid(SetAssocOrg)
+        ? static_cast<SetAssocOrg *>(org_.get())
+        : nullptr;
 }
 
 DramCacheController::~DramCacheController() = default;

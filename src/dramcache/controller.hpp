@@ -30,6 +30,7 @@
 #include "common/event_queue.hpp"
 #include "common/invariant_auditor.hpp"
 #include "common/metrics/registry.hpp"
+#include "common/object_pool.hpp"
 #include "common/stats.hpp"
 #include "common/trace_event/trace_event.hpp"
 #include "core/way_policy.hpp"
@@ -49,6 +50,8 @@ class Tracer;
 
 namespace accord::dramcache
 {
+
+class SetAssocOrg;
 
 /** The L4 DRAM-cache controller. */
 class DramCacheController : private OrgServices
@@ -202,6 +205,25 @@ class DramCacheController : private OrgServices
     DcpDirectory dcp;
     DramCacheStats stats_;
     std::unique_ptr<OrgStrategy> org_;
+
+    /**
+     * Devirtualized view of org_ when its dynamic type is exactly the
+     * built-in set-associative strategy — the overwhelmingly common
+     * case.  The timed read engine calls plan/hit hooks through this
+     * pointer with qualified (non-virtual, inlinable) calls; any other
+     * organization (CA, registry plug-ins, SetAssocOrg subclasses)
+     * keeps the virtual path.  Null when org_ is not exactly a
+     * SetAssocOrg.
+     */
+    SetAssocOrg *setassoc_ = nullptr;
+
+    /**
+     * Recycles ReadTxn+control-block allocations (read_txn.cpp).
+     * Shared so pooled transactions still referenced by queued events
+     * keep the arena alive past controller teardown.
+     */
+    std::shared_ptr<BlockPool> txn_pool_ = std::make_shared<BlockPool>();
+
     unsigned in_flight = 0;
 
     /** Transaction tracer (null when tracing is off). */

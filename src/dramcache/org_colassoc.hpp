@@ -20,7 +20,7 @@ namespace accord::dramcache
 {
 
 /** Column-associative / hash-rehash strategy. */
-class ColAssocOrg : public OrgStrategy
+class ColAssocOrg final : public OrgStrategy
 {
   public:
     explicit ColAssocOrg(const OrgContext &ctx);

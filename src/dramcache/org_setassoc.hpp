@@ -20,7 +20,13 @@
 namespace accord::dramcache
 {
 
-/** Set-associative / direct-mapped strategy. */
+/**
+ * Set-associative / direct-mapped strategy.  Not `final` — registry
+ * plug-ins may subclass it (see test_org_registry's ToyOrg) — so the
+ * timed engine's devirtualized fast path engages only when the
+ * controller proves the dynamic type is exactly SetAssocOrg and then
+ * uses qualified (non-virtual, inlinable) calls.
+ */
 class SetAssocOrg : public OrgStrategy
 {
   public:

@@ -9,9 +9,11 @@
  * logic.
  */
 
+#include "common/object_pool.hpp"
 #include "common/trace_event/tracer.hpp"
 #include "dramcache/access_plan.hpp"
 #include "dramcache/controller.hpp"
+#include "dramcache/org_setassoc.hpp"
 
 namespace accord::dramcache
 {
@@ -39,8 +41,15 @@ DramCacheController::read(LineAddr line, ReadDone done,
     maybeAudit();
 #endif
 
-    auto txn = std::make_shared<ReadTxn>();
-    txn->plan = org_->planRead(line);
+    // Pool-allocated: the transaction and its shared_ptr control
+    // block recycle through txn_pool_ instead of hitting the heap on
+    // every demand read.
+    auto txn =
+        std::allocate_shared<ReadTxn>(PoolAllocator<ReadTxn>(txn_pool_));
+    // Devirtualized fast path: when the organization is exactly the
+    // built-in SetAssocOrg, qualified calls skip the vtable and inline.
+    txn->plan = setassoc_ != nullptr ? setassoc_->SetAssocOrg::planRead(line)
+                                     : org_->planRead(line);
     txn->done = std::move(done);
     txn->start = eq.now();
     txn->trace = tracer_ != nullptr ? trace : trace_event::kNoTxn;
@@ -165,7 +174,10 @@ DramCacheController::finishHit(const std::shared_ptr<ReadTxn> &txn,
     hit.probeIndex = probe_index;
     hit.timed = true;
     hit.trace = txn->trace;
-    org_->onReadHit(hit);
+    if (setassoc_ != nullptr)
+        setassoc_->SetAssocOrg::onReadHit(hit);
+    else
+        org_->onReadHit(hit);
 
     --in_flight;
     if (txn->trace != trace_event::kNoTxn) {
@@ -188,7 +200,10 @@ DramCacheController::finishHit(const std::shared_ptr<ReadTxn> &txn,
 
     // Post-completion work (e.g. the CA swap-to-primary) runs off the
     // critical path, after the requester has its data.
-    org_->afterReadHit(hit);
+    if (setassoc_ != nullptr)
+        setassoc_->OrgStrategy::afterReadHit(hit); // the base no-op
+    else
+        org_->afterReadHit(hit);
 }
 
 void
@@ -196,7 +211,10 @@ DramCacheController::missConfirmed(const std::shared_ptr<ReadTxn> &txn,
                                    Cycle when)
 {
     stats_.readHits.miss();
-    org_->onReadMiss(txn->plan.ref);
+    if (setassoc_ != nullptr)
+        setassoc_->SetAssocOrg::onReadMiss(txn->plan.ref);
+    else
+        org_->onReadMiss(txn->plan.ref);
     stats_.nvmReads.inc();
 
     if (txn->trace != trace_event::kNoTxn) {
@@ -224,8 +242,12 @@ DramCacheController::missConfirmed(const std::shared_ptr<ReadTxn> &txn,
 
         // Fill off the critical path: functional install now, the
         // array writes and any victim writeback posted.
-        org_->installAfterMiss(txn->plan.ref.line, /* timed */ true,
-                               txn->trace);
+        if (setassoc_ != nullptr)
+            setassoc_->SetAssocOrg::installAfterMiss(txn->plan.ref.line,
+                                        /* timed */ true, txn->trace);
+        else
+            org_->installAfterMiss(txn->plan.ref.line, /* timed */ true,
+                                   txn->trace);
     }, txn->trace);
 }
 

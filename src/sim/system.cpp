@@ -241,6 +241,7 @@ System::run()
         measureFunctional();
 
     SystemMetrics m;
+    m.eventsExecuted = eq.executed();
     m.cacheStats = cache_->stats();
     m.hitRate = m.cacheStats.readHits.rate();
     m.wpAccuracy = m.cacheStats.wayPrediction.rate();

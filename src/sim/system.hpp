@@ -138,6 +138,15 @@ struct SystemMetrics
     std::vector<double> coreIpc;
     Cycle cycles = 0;
 
+    /**
+     * Discrete events the queue executed over the whole run (warmup
+     * included; 0 for functional-only runs).  Host-side throughput
+     * denominator for bench_throughput — deliberately NOT a registry
+     * metric, so run reports stay byte-identical across engine
+     * refactors.
+     */
+    std::uint64_t eventsExecuted = 0;
+
     dramcache::DramCacheStats cacheStats;
     dram::DeviceStats hbmStats;
     dram::DeviceStats nvmStats;

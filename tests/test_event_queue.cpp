@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/event_queue.hpp"
@@ -91,6 +95,117 @@ TEST(EventQueue, ScheduleAtNowIsAllowed)
     eq.scheduleAt(0, [&] { ran = true; });
     eq.run();
     EXPECT_TRUE(ran);
+}
+
+// Delays beyond the calendar horizon take the overflow path and must
+// still fire in time order, across several full bucket-array wraps.
+TEST(EventQueue, FarFutureCrossesBucketWraps)
+{
+    constexpr Cycle horizon = EventQueue::kBuckets;
+    EventQueue eq;
+    std::vector<Cycle> fired;
+    const std::vector<Cycle> whens = {
+        10 * horizon + 1, 2 * horizon + 3, horizon,
+        horizon - 1, 0,
+    };
+    for (const Cycle when : whens)
+        eq.scheduleAt(when, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.run();
+    EXPECT_EQ(fired, (std::vector<Cycle>{0, horizon - 1, horizon,
+                                         2 * horizon + 3,
+                                         10 * horizon + 1}));
+    EXPECT_EQ(eq.now(), 10 * horizon + 1);
+    EXPECT_EQ(eq.executed(), whens.size());
+}
+
+// An event scheduled beyond the horizon and one scheduled later for
+// the SAME cycle (from within the horizon) must keep schedule order:
+// first scheduled, first run.
+TEST(EventQueue, OverflowAndBucketedSameCycleKeepScheduleOrder)
+{
+    constexpr Cycle target = EventQueue::kBuckets + 10;
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(target, [&] { order.push_back(1); }); // overflow
+    eq.scheduleAt(20, [&] {
+        // target is now inside the horizon: bucketed directly.
+        eq.scheduleAt(target, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Rolling scheduleAfter chains drive the calendar through many wraps;
+// the pending/executed bookkeeping must stay exact throughout.
+TEST(EventQueue, CountersSurviveManyWraps)
+{
+    EventQueue eq;
+    std::uint64_t hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 50)
+            eq.scheduleAfter(EventQueue::kBuckets / 3 + 7, hop);
+    };
+    eq.scheduleAt(0, hop);
+    std::uint64_t steps = 0;
+    while (eq.step())
+        ++steps;
+    EXPECT_EQ(hops, 50u);
+    EXPECT_EQ(steps, 50u);
+    EXPECT_EQ(eq.executed(), 50u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+// step() drains one event at a time and size() tracks the remainder,
+// including events still parked in the overflow heap.
+TEST(EventQueue, StepDrainsOneAtATime)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.scheduleAt(1, [&] { ++ran; });
+    eq.scheduleAt(1, [&] { ++ran; });
+    eq.scheduleAt(2 * EventQueue::kBuckets, [&] { ++ran; });
+    EXPECT_EQ(eq.size(), 3u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.size(), 2u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 3);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+// Captures too large for the callback's inline buffer spill to the
+// heap; the payload must survive the spill and any node moves.
+TEST(EventQueue, LargeCaptureCallbackSurvives)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.scheduleAt(7, [payload, &sum] {
+        for (const std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        expect += i * 3 + 1;
+    EXPECT_EQ(sum, expect);
+}
+
+// Move-only captures must work: the queue never copies callbacks.
+TEST(EventQueue, MoveOnlyCallback)
+{
+    EventQueue eq;
+    auto box = std::make_unique<int>(41);
+    int got = 0;
+    eq.scheduleAt(3, [box = std::move(box), &got] { got = *box + 1; });
+    eq.run();
+    EXPECT_EQ(got, 42);
 }
 
 TEST(EventQueueDeath, PastSchedulingPanics)

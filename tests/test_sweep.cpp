@@ -105,6 +105,35 @@ TEST(SweepDeterminism, FourJobsMatchSerialFunctionalGrid)
     }
 }
 
+// The report-layer replay of the jobs guarantee: serializing the SAME
+// smoke sweep recorded at jobs=1 and jobs=3 must yield byte-identical
+// run-report JSON — every metric of every run, not just the headline
+// speedups.  This is the in-process twin of CI's refactor-equivalence
+// gate (tools/check_refactor_equivalence.sh, rtol 0).
+TEST(SweepDeterminism, ReportBytesIdenticalForOneAndThreeJobs)
+{
+    const auto record = [](unsigned jobs) {
+        const Config cli = fastCli(jobs);
+        const bench::SpeedupSweep sweep(kWorkloads, kConfigs, cli);
+        report::RunReport report("jobs replay", "byte-identity test");
+        for (std::size_t w = 0; w < kWorkloads.size(); ++w) {
+            sim::SystemConfig base = sim::baselineConfig(kWorkloads[w]);
+            sim::applyCliOverrides(base, cli);
+            bench::recordRun(report, kWorkloads[w] + "/dm", base,
+                             sweep.baseline(w));
+            for (const std::string &name : kConfigs) {
+                bench::recordRun(report, kWorkloads[w] + "/" + name,
+                                 bench::timedConfig(kWorkloads[w],
+                                                    name, cli),
+                                 sweep.metrics(name, w));
+            }
+        }
+        return report.toJson();
+    };
+
+    EXPECT_EQ(record(1), record(3));
+}
+
 TEST(SweepRunner, BaselinePrefetchMatchesSerialGet)
 {
     const Config serial_cli = fastCli(1);

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate over bench_throughput run reports.
+
+Compares the ``*_per_sec_best`` run values of a freshly measured
+``bench_throughput`` report against the committed baseline
+(``BENCH_throughput.json``) and fails when any mode got more than
+``--rtol`` slower.  Because each reported value is already the best of
+``reps=`` repetitions (min-of-N wall time = max-of-N throughput),
+transient host noise has to strike every repetition to fake a
+regression; the generous default tolerance (25%) absorbs
+runner-to-runner speed differences on top of that.
+
+Faster-than-baseline results never fail the gate — they are printed so
+a maintainer can decide to refresh the baseline (``--update`` rewrites
+it from the current report; see docs/PERFORMANCE.md for the policy:
+every hot-path optimization lands with a refreshed baseline, every
+other change must stay inside the tolerance).
+
+Usage:
+    tools/check_perf_regression.py --current new.json \
+        --baseline BENCH_throughput.json [--rtol 0.25]
+    tools/check_perf_regression.py --current new.json \
+        --baseline BENCH_throughput.json --update
+    tools/check_perf_regression.py --self-test
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+SCHEMA = "accord.run_report/1"
+METRIC_SUFFIX = "_per_sec_best"
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"check_perf_regression: {path}: schema is "
+            f"{doc.get('schema')!r}, expected {SCHEMA!r}")
+    return doc
+
+
+def gated_metrics(doc):
+    """{(run, metric): value} for every gated throughput value."""
+    out = {}
+    for run, record in doc.get("runs", {}).items():
+        for metric, value in record.get("metrics", {}).items():
+            if metric.endswith(METRIC_SUFFIX):
+                out[(run, metric)] = float(value)
+    return out
+
+
+def check(baseline_doc, current_doc, rtol):
+    """Return (problems, lines): failures and the full comparison."""
+    baseline = gated_metrics(baseline_doc)
+    current = gated_metrics(current_doc)
+    problems = []
+    lines = []
+    if not baseline:
+        problems.append(f"baseline has no *{METRIC_SUFFIX} values")
+    for (run, metric), base in sorted(baseline.items()):
+        label = f"{run}.{metric}"
+        if (run, metric) not in current:
+            problems.append(f"{label}: missing from current report")
+            continue
+        now = current[(run, metric)]
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "ok"
+        if now < base * (1.0 - rtol):
+            verdict = "REGRESSION"
+            problems.append(
+                f"{label}: {now:.0f}/s vs baseline {base:.0f}/s "
+                f"({ratio:.2f}x, tolerance {1.0 - rtol:.2f}x)")
+        elif ratio > 1.0 + rtol:
+            verdict = "faster (consider --update)"
+        lines.append(f"  {label}: {now:.0f}/s vs {base:.0f}/s "
+                     f"({ratio:.2f}x) {verdict}")
+    for (run, metric) in sorted(set(current) - set(baseline)):
+        lines.append(f"  {run}.{metric}: not in baseline (new mode; "
+                     f"--update to start tracking it)")
+    return problems, lines
+
+
+def self_test(rtol):
+    """Prove the gate can both pass and fail."""
+
+    def report(scale):
+        return {
+            "schema": SCHEMA,
+            "runs": {
+                "libq/timed": {"metrics": {
+                    "reads_per_sec_best": 1_000_000.0 * scale,
+                    "events_per_sec_best": 6_000_000.0 * scale,
+                    "wall_s_best": 0.5,
+                }},
+                "libq/warm": {"metrics": {
+                    "reads_per_sec_best": 4_000_000.0 * scale,
+                }},
+            },
+        }
+
+    base = report(1.0)
+    cases = [
+        ("identical report passes", report(1.0), False),
+        ("within-tolerance noise passes",
+         report(1.0 - rtol * 0.8), False),
+        ("injected regression fails", report(1.0 - rtol * 2), True),
+        ("speedup passes", report(1.5), False),
+        ("missing mode fails",
+         {"schema": SCHEMA, "runs": {}}, True),
+    ]
+    failures = []
+    for name, current, expect_fail in cases:
+        problems, _ = check(base, current, rtol)
+        if bool(problems) != expect_fail:
+            failures.append(
+                f"  self-test case failed: {name} "
+                f"(problems={problems!r})")
+    if failures:
+        print("check_perf_regression: SELF-TEST FAILED")
+        print("\n".join(failures))
+        return 1
+    print(f"check_perf_regression: self-test passed "
+          f"({len(cases)} cases, rtol={rtol})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when bench_throughput regressed vs baseline")
+    parser.add_argument("--current", type=pathlib.Path,
+                        help="freshly measured bench_throughput report")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        help="committed baseline (BENCH_throughput.json)")
+    parser.add_argument("--rtol", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from --current")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate fails on an injected "
+                             "regression")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.rtol)
+    if args.current is None or args.baseline is None:
+        parser.error("--current and --baseline are required "
+                     "(or use --self-test)")
+
+    if args.update:
+        load_report(args.current)  # validate before overwriting
+        shutil.copyfile(args.current, args.baseline)
+        print(f"check_perf_regression: baseline {args.baseline} "
+              f"refreshed from {args.current}")
+        return 0
+
+    problems, lines = check(load_report(args.baseline),
+                            load_report(args.current), args.rtol)
+    print(f"check_perf_regression: {args.current} vs baseline "
+          f"{args.baseline} (rtol={args.rtol})")
+    print("\n".join(lines))
+    if problems:
+        print("check_perf_regression: FAILED")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("check_perf_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

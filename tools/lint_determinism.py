@@ -48,6 +48,12 @@ Rules
     ``planLookup()`` so the warm and timed paths cannot re-grow
     divergent per-mode branches — the exact bug class the plan-core
     refactor removed.
+``priority-queue``
+    ``std::priority_queue`` outside ``src/common/event_queue.*``: heap
+    order is unstable for equal keys, so same-cycle events would run
+    in an unspecified order.  All event scheduling must go through
+    ``EventQueue``, whose calendar buckets keep same-cycle FIFO order
+    (and whose overflow heap carries an explicit tiebreak sequence).
 
 Escape hatch: a ``// lint: allow(<rule>)`` comment on the offending
 line or the line directly above suppresses that rule there.  Use it
@@ -79,6 +85,13 @@ FIXTURE_DIR_NAME = "lint_fixtures"
 
 # Files where std::* engines are allowed (the one seeded wrapper).
 ENGINE_ALLOWLIST = ("src/common/rng.hpp",)
+
+# Files allowed to use std::priority_queue: the event queue itself,
+# whose overflow heap carries an explicit (when, seq) tiebreak.
+PRIORITY_QUEUE_ALLOWLIST = (
+    "src/common/event_queue.hpp",
+    "src/common/event_queue.cpp",
+)
 
 # Files allowed to dispatch on LookupMode: the plan core (the ONE
 # lookup switch) and the canonical enum<->token table.
@@ -151,6 +164,14 @@ ENGINE_RULE = (
     ),
     "std random engines bypass the deterministic accord::Rng; only "
     "src/common/rng.hpp may wrap one",
+)
+
+PRIORITY_QUEUE_RULE = (
+    "priority-queue",
+    re.compile(r"std::priority_queue\s*<"),
+    "std::priority_queue runs equal-key elements in unspecified "
+    "order; schedule through accord::EventQueue, which keeps "
+    "same-cycle FIFO order",
 )
 
 LOOKUP_SWITCH_RULE = (
@@ -270,6 +291,9 @@ def lint_file(path, rel):
     lookup_switch_allowed = any(
         rel.endswith(a) for a in LOOKUP_SWITCH_ALLOWLIST
     )
+    priority_queue_allowed = any(
+        rel.endswith(a) for a in PRIORITY_QUEUE_ALLOWLIST
+    )
     report_only = any(
         d in pathlib.PurePath(rel).parts for d in REPORT_ONLY_DIRS
     )
@@ -304,6 +328,14 @@ def lint_file(path, rel):
         rule, regex, message = LOOKUP_SWITCH_RULE
         if (
             not lookup_switch_allowed
+            and regex.search(code)
+            and not is_allowed(allows, lineno, rule)
+        ):
+            violations.append(Violation(rel, lineno, rule, message))
+
+        rule, regex, message = PRIORITY_QUEUE_RULE
+        if (
+            not priority_queue_allowed
             and regex.search(code)
             and not is_allowed(allows, lineno, rule)
         ):
