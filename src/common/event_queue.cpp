@@ -12,10 +12,12 @@ EventQueue::EventQueue()
 {
 }
 
-EventQueue::Node *
+ACCORD_HOT EventQueue::Node *
 EventQueue::allocNode()
 {
     if (free_nodes_ == nullptr) {
+        // accord-lint: allow(hot-alloc) arena growth is amortized; the
+        // freelist serves the steady state allocation-free
         chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
         Node *chunk = chunks_.back().get();
         for (std::size_t i = 0; i < kChunkNodes; ++i) {
@@ -29,14 +31,14 @@ EventQueue::allocNode()
     return node;
 }
 
-void
+ACCORD_HOT void
 EventQueue::freeNode(Node *node)
 {
     node->next = free_nodes_;
     free_nodes_ = node;
 }
 
-void
+ACCORD_HOT void
 EventQueue::appendBucketed(Node *node)
 {
     const std::size_t index = node->when & kMask;
@@ -51,7 +53,7 @@ EventQueue::appendBucketed(Node *node)
     ++bucketed_;
 }
 
-void
+ACCORD_HOT void
 EventQueue::scheduleAt(Cycle when, Callback callback)
 {
     ACCORD_ASSERT(when >= now_,
@@ -71,7 +73,7 @@ EventQueue::scheduleAt(Cycle when, Callback callback)
     std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
 }
 
-Cycle
+ACCORD_HOT Cycle
 EventQueue::nextBucketedCycle() const
 {
     // All bucketed events lie in (now_, now_ + kBuckets), so circular
@@ -96,7 +98,7 @@ EventQueue::nextBucketedCycle() const
     panic("event queue: bucketed count positive but no occupied bucket");
 }
 
-void
+ACCORD_HOT void
 EventQueue::advance()
 {
     // Every overflow event satisfies when >= migration-time now_ +
@@ -128,7 +130,7 @@ EventQueue::advance()
     }
 }
 
-bool
+ACCORD_HOT bool
 EventQueue::step()
 {
     if (pending_ == 0)

@@ -52,6 +52,9 @@ class EventCallback
     template <typename F,
               typename = std::enable_if_t<
                   !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    ACCORD_HOT ACCORD_HOT_ALLOW(
+        "oversized captures spill to the heap by design; every capture "
+        "the simulator schedules fits the inline buffer")
     EventCallback(F &&fn) // NOLINT(google-explicit-constructor)
     {
         using Fn = std::decay_t<F>;
@@ -85,7 +88,7 @@ class EventCallback
 
     explicit operator bool() const { return ops_ != nullptr; }
 
-    void
+    ACCORD_HOT void
     operator()()
     {
         ops_->invoke(storage_);
@@ -167,10 +170,10 @@ class EventQueue
     Cycle now() const { return now_; }
 
     /** Schedule a callback at an absolute cycle (>= now). */
-    void scheduleAt(Cycle when, Callback callback);
+    ACCORD_HOT void scheduleAt(Cycle when, Callback callback);
 
     /** Schedule a callback delay cycles from now. */
-    void scheduleAfter(Cycle delay, Callback callback)
+    ACCORD_HOT void scheduleAfter(Cycle delay, Callback callback)
     {
         scheduleAt(now_ + delay, std::move(callback));
     }
@@ -182,7 +185,7 @@ class EventQueue
     std::size_t size() const { return pending_; }
 
     /** Run a single event; returns false if the queue was empty. */
-    bool step();
+    ACCORD_HOT bool step();
 
     /**
      * Run events until the queue drains or the predicate returns true.

@@ -19,7 +19,7 @@ Channel::idle() const
     return read_queue.empty() && write_queue.empty() && in_flight == 0;
 }
 
-void
+ACCORD_HOT void
 Channel::enqueue(MemOp op)
 {
     ACCORD_ASSERT(op.loc.channel == id_, "op routed to wrong channel");
@@ -32,7 +32,7 @@ Channel::enqueue(MemOp op)
     ensureKick(eq.now());
 }
 
-void
+ACCORD_HOT void
 Channel::ensureKick(Cycle when)
 {
     if (kick_at <= when)
@@ -47,7 +47,7 @@ Channel::ensureKick(Cycle when)
     });
 }
 
-std::size_t
+ACCORD_HOT std::size_t
 Channel::pick(const std::deque<MemOp> &queue) const
 {
     // Transaction continuations first, then the oldest row-buffer hit,
@@ -64,7 +64,7 @@ Channel::pick(const std::deque<MemOp> &queue) const
     return 0;
 }
 
-void
+ACCORD_HOT void
 Channel::issue(std::deque<MemOp> &queue, std::size_t index)
 {
     MemOp op = std::move(queue[index]);
@@ -124,7 +124,7 @@ Channel::issue(std::deque<MemOp> &queue, std::size_t index)
         ensureKick(now + params.tBurst);
 }
 
-void
+ACCORD_HOT void
 Channel::kick()
 {
     // Only commit a request to the bus shortly before its slot could

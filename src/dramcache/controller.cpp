@@ -160,7 +160,7 @@ DramCacheController::describe() const
     return org_->describe();
 }
 
-void
+ACCORD_HOT void
 DramCacheController::cacheOp(std::uint64_t set, unsigned way,
                              bool is_write,
                              dram::MemCallback on_complete,
@@ -175,7 +175,7 @@ DramCacheController::cacheOp(std::uint64_t set, unsigned way,
     hbm_.enqueue(std::move(op));
 }
 
-void
+ACCORD_HOT void
 DramCacheController::nvmWrite(LineAddr line,
                               dram::MemCallback on_complete,
                               trace_event::TxnId txn)
@@ -204,6 +204,8 @@ DramCacheController::beginFillGroup(trace_event::TxnId parent,
     // All member ops are registered synchronously inside the current
     // event, so the counter cannot hit zero before the group is fully
     // built.
+    // accord-lint: allow(hot-alloc) fill groups exist only on traced
+    // runs, which trade throughput for attribution by design
     auto remaining = std::make_shared<unsigned>(0);
     const trace_event::TxnId id = fill_txn;
     return [this, id, remaining]() -> dram::MemCallback {
@@ -221,7 +223,7 @@ DramCacheController::beginFillGroup(trace_event::TxnId parent,
 // Functional (untimed) path
 // --------------------------------------------------------------------
 
-bool
+ACCORD_HOT bool
 DramCacheController::warmRead(LineAddr line)
 {
 #if ACCORD_CHECKS_ENABLED
@@ -259,7 +261,7 @@ DramCacheController::warmRead(LineAddr line)
     return false;
 }
 
-void
+ACCORD_HOT void
 DramCacheController::warmWriteback(LineAddr line)
 {
     writebackCommon(line, /* timed */ false);
@@ -276,7 +278,7 @@ DramCacheController::writeback(LineAddr line, trace_event::TxnId txn)
 // Writebacks (shared)
 // --------------------------------------------------------------------
 
-void
+ACCORD_HOT void
 DramCacheController::writebackCommon(LineAddr line, bool timed,
                                      trace_event::TxnId txn)
 {

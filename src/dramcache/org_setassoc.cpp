@@ -50,7 +50,7 @@ SetAssocOrg::SetAssocOrg(const OrgContext &ctx)
     }
 }
 
-AccessPlan
+ACCORD_HOT AccessPlan
 SetAssocOrg::planRead(LineAddr line)
 {
     return planLookup(core::LineRef::make(line, ctx_.geom), ctx_.policy,
@@ -64,7 +64,7 @@ SetAssocOrg::planDemandLocate(LineAddr line)
                       ctx_.geom);
 }
 
-void
+ACCORD_HOT void
 SetAssocOrg::onReadHit(const HitContext &hit)
 {
     const auto ref = core::LineRef::make(hit.line, ctx_.geom);
@@ -74,14 +74,14 @@ SetAssocOrg::onReadHit(const HitContext &hit)
     ctx_.dcp.record(hit.line, hit.way);
 }
 
-void
+ACCORD_HOT void
 SetAssocOrg::onReadMiss(const core::LineRef &ref)
 {
     if (ctx_.policy)
         ctx_.policy->onMiss(ref);
 }
 
-unsigned
+ACCORD_HOT unsigned
 SetAssocOrg::unsteeredVictim(const core::LineRef &ref)
 {
     if (ctx_.geom.ways == 1)
@@ -105,7 +105,7 @@ SetAssocOrg::unsteeredVictim(const core::LineRef &ref)
     return best;
 }
 
-void
+ACCORD_HOT void
 SetAssocOrg::touchReplacement(const core::LineRef &ref, unsigned way,
                               bool timed, trace_event::TxnId txn)
 {
@@ -120,7 +120,7 @@ SetAssocOrg::touchReplacement(const core::LineRef &ref, unsigned way,
         ctx_.services.cacheOp(ref.set, way, true, {}, false, txn);
 }
 
-SetAssocOrg::InstallResult
+ACCORD_HOT SetAssocOrg::InstallResult
 SetAssocOrg::installLine(const core::LineRef &ref)
 {
     // Two overlapping misses to one line (cores sharing a hashed
@@ -161,7 +161,7 @@ SetAssocOrg::installLine(const core::LineRef &ref)
     return result;
 }
 
-void
+ACCORD_HOT void
 SetAssocOrg::installAfterMiss(LineAddr line, bool timed,
                               trace_event::TxnId parent)
 {

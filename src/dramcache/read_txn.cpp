@@ -33,7 +33,7 @@ struct DramCacheController::ReadTxn
     unsigned parallelArrived = 0;
 };
 
-void
+ACCORD_HOT void
 DramCacheController::read(LineAddr line, ReadDone done,
                           trace_event::TxnId trace)
 {
@@ -120,7 +120,7 @@ DramCacheController::read(LineAddr line, ReadDone done,
     }
 }
 
-void
+ACCORD_HOT void
 DramCacheController::issueProbe(const std::shared_ptr<ReadTxn> &txn,
                                 unsigned index)
 {
@@ -137,7 +137,7 @@ DramCacheController::issueProbe(const std::shared_ptr<ReadTxn> &txn,
     }, /* priority */ index > 0, txn->trace);
 }
 
-void
+ACCORD_HOT void
 DramCacheController::probeDone(const std::shared_ptr<ReadTxn> &txn,
                                unsigned index, Cycle when)
 {
@@ -158,7 +158,7 @@ DramCacheController::probeDone(const std::shared_ptr<ReadTxn> &txn,
     missConfirmed(txn, when);
 }
 
-void
+ACCORD_HOT void
 DramCacheController::finishHit(const std::shared_ptr<ReadTxn> &txn,
                                unsigned way, unsigned trace_way,
                                unsigned probe_index, Cycle when)
@@ -206,7 +206,7 @@ DramCacheController::finishHit(const std::shared_ptr<ReadTxn> &txn,
         org_->afterReadHit(hit);
 }
 
-void
+ACCORD_HOT void
 DramCacheController::missConfirmed(const std::shared_ptr<ReadTxn> &txn,
                                    Cycle when)
 {

@@ -1,30 +1,29 @@
 // Lint fixture: every pattern here is either annotated with the
-// allow escape hatch or only looks like a violation.  The self-test
-// asserts the linter reports nothing.
+// shared accord-lint escape hatch or only looks like a violation.
+// The self-test asserts the linter reports nothing.
 // expect-clean
 
 #include <cstdint>
-#include <unordered_map>
+#include <queue>
 #include <vector>
 
-std::uint64_t
-sumValues(const std::unordered_map<int, std::uint64_t> &external)
-{
-    std::unordered_map<int, std::uint64_t> counts = external;
-    std::uint64_t sum = 0;
-    // Order-insensitive reduction: addition commutes.
-    // lint: allow(unordered-iteration)
-    for (const auto &entry : counts)
-        sum += entry.second;
-    return sum;
-}
+// Strings mentioning banned constructs must not trip any rule.
+const char *kDoc = "std::priority_queue is banned outside EventQueue";
 
-// Identifiers merely containing "rand" or strings mentioning banned
-// names must not trip word-boundary rules.
-int
-operandCount(const std::vector<int> &operands)
+// The escape hatch covers the next code line even with a multi-line
+// reason comment in between.
+// accord-lint: allow(priority-queue) scratch heap in a host-side
+// helper; never schedules simulated events
+std::priority_queue<std::uint64_t> scratch_heap;
+
+// A switch over something merely NAMED like the lookup mode is fine.
+enum class Flavor { Plain, Fancy };
+
+unsigned
+pick(Flavor flavor)
 {
-    const char *label = "std::rand() is banned here";
-    (void)label;
-    return static_cast<int>(operands.size());
+    switch (flavor) {
+      case Flavor::Fancy: return 2;
+      default: return 1;
+    }
 }

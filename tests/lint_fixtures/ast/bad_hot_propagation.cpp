@@ -1,0 +1,34 @@
+// Analyzer fixture: one-level call-graph propagation.  The hot
+// function itself is clean, but it calls a non-hot helper (uniquely
+// resolvable by name) that allocates -- the finding lands on the hot
+// caller with a "via <helper>" detail.
+// expect: hot-alloc
+
+#if defined(__clang__)
+#define ACCORD_HOT [[clang::annotate("accord_hot")]]
+#else
+#define ACCORD_HOT
+#endif
+
+namespace fixture
+{
+
+struct Node
+{
+    Node *next = nullptr;
+};
+
+struct Pool
+{
+    Node *growPool()
+    {
+        return new Node();
+    }
+
+    ACCORD_HOT Node *acquire()
+    {
+        return growPool();
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,28 @@
+// Analyzer fixture: std::string / std::to_string temporaries inside
+// an ACCORD_HOT function (each one allocates on the simulated
+// per-event path).
+// expect: hot-string
+
+#if defined(__clang__)
+#define ACCORD_HOT [[clang::annotate("accord_hot")]]
+#else
+#define ACCORD_HOT
+#endif
+
+#include <string>
+
+namespace fixture
+{
+
+void sink(const std::string &text);
+
+struct Labeler
+{
+    ACCORD_HOT void tag(unsigned id)
+    {
+        std::string label = "txn-";
+        sink(label + std::to_string(id));
+    }
+};
+
+} // namespace fixture

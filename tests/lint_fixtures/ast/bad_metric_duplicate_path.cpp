@@ -1,0 +1,36 @@
+// Analyzer fixture: two registration calls publishing the SAME
+// group/name path -- the second silently shadows (or double-counts)
+// the first in every report backend.
+// expect: metric-duplicate-path
+
+#include <cstdint>
+
+namespace fixture
+{
+
+struct Counter
+{
+    std::uint64_t value = 0;
+};
+
+struct Registry
+{
+    void addCounter(const char *group, const char *name,
+                    const Counter &counter);
+};
+
+struct WayStats
+{
+    Counter predicted;
+    Counter installed;
+
+    void registerMetrics(Registry &registry);
+};
+
+void WayStats::registerMetrics(Registry &registry)
+{
+    registry.addCounter("ways", "hits", predicted);
+    registry.addCounter("ways", "hits", installed);
+}
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+// Analyzer fixture: a *Stats struct whose registerMetrics body never
+// names one of its registrable fields -- the metric silently vanishes
+// from every report.
+// expect: metric-unregistered
+
+#include <cstdint>
+
+namespace fixture
+{
+
+struct Counter
+{
+    std::uint64_t value = 0;
+};
+
+struct Registry
+{
+    void addCounter(const char *group, const char *name,
+                    const Counter &counter);
+};
+
+struct ProbeStats
+{
+    Counter issued;
+    Counter merged;
+    Counter dropped;
+
+    void registerMetrics(Registry &registry);
+};
+
+void ProbeStats::registerMetrics(Registry &registry)
+{
+    registry.addCounter("probe", "issued", issued);
+    registry.addCounter("probe", "merged", merged);
+    // `dropped` forgotten: the analyzer must notice.
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// Analyzer fixture: ordered containers keyed by pointer value.  The
+// iteration order depends on the allocator, so any walk leaks host
+// nondeterminism into the simulation.
+// expect: pointer-key
+
+#include <map>
+#include <set>
+
+namespace fixture
+{
+
+struct Txn
+{
+    unsigned id = 0;
+};
+
+struct Ledger
+{
+    std::map<const Txn *, unsigned> by_txn_;
+    std::set<void *> seen_;
+};
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Analyzer fixture: the C rand()/srand() family.  Global hidden
+// state, host-varying implementations -- banned everywhere outside
+// the seeded rng.hpp abstraction.
+// expect: rand
+
+#include <cstdlib>
+
+namespace fixture
+{
+
+unsigned pickWay(unsigned ways)
+{
+    std::srand(42);
+    return static_cast<unsigned>(std::rand()) % ways;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Analyzer fixture: std::random_device pulls host entropy -- every
+// run seeds differently, so no run is reproducible.
+// expect: random-device
+
+#include <random>
+
+namespace fixture
+{
+
+unsigned long long entropySeed()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Analyzer fixture: std library random engines.  Their sequences are
+// implementation-defined across standard library versions, so even a
+// fixed seed does not reproduce across hosts.
+// expect: std-engine
+
+#include <random>
+
+namespace fixture
+{
+
+unsigned pickVictim(unsigned ways)
+{
+    std::mt19937 gen(12345);
+    return static_cast<unsigned>(gen()) % ways;
+}
+
+} // namespace fixture

@@ -1,0 +1,43 @@
+// Analyzer fixture: range-for over an unordered container on an
+// output-reaching path.  Three reach forms: an enclosing reporting
+// function (by name), a direct print in the loop body, and a loop
+// body calling a helper that prints (one level).
+// expect: unordered-iteration
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct Directory
+{
+    std::unordered_map<unsigned long long, unsigned> map_;
+
+    void report() const
+    {
+        unsigned total = 0;
+        for (const auto &kv : map_)
+            total += kv.second;
+        (void)total;
+    }
+
+    void pump() const
+    {
+        for (const auto &kv : map_)
+            std::printf("%llu\n", kv.first);
+    }
+
+    void emitRow(unsigned long long key) const
+    {
+        std::printf("%llu\n", key);
+    }
+
+    void walk() const
+    {
+        for (const auto &kv : map_)
+            emitRow(kv.first);
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Analyzer fixture: wall-clock reads outside rng.hpp.  Host time in
+// simulation logic makes runs unreproducible.
+// expect: wallclock
+
+#include <chrono>
+
+namespace fixture
+{
+
+unsigned long long stamp()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<unsigned long long>(
+        now.time_since_epoch().count());
+}
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// Analyzer fixture: every registration call publishes a distinct
+// group/name path.
+// expect-clean
+
+#include <cstdint>
+
+namespace fixture
+{
+
+struct Counter
+{
+    std::uint64_t value = 0;
+};
+
+struct Registry
+{
+    void addCounter(const char *group, const char *name,
+                    const Counter &counter);
+};
+
+struct WayStats
+{
+    Counter predicted;
+    Counter installed;
+
+    void registerMetrics(Registry &registry);
+};
+
+void WayStats::registerMetrics(Registry &registry)
+{
+    registry.addCounter("ways", "predicted", predicted);
+    registry.addCounter("ways", "installed", installed);
+}
+
+} // namespace fixture

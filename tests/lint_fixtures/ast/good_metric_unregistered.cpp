@@ -1,0 +1,39 @@
+// Analyzer fixture: a complete registration body, plus the sanctioned
+// allow-annotation for a field that is deliberately reported through
+// another channel (the SystemMetrics::eventsExecuted pattern).
+// expect-clean
+
+#include <cstdint>
+
+namespace fixture
+{
+
+struct Counter
+{
+    std::uint64_t value = 0;
+};
+
+struct Registry
+{
+    void addCounter(const char *group, const char *name,
+                    const Counter &counter);
+};
+
+struct ProbeStats
+{
+    Counter issued;
+    Counter merged;
+    // accord-lint: allow(metric-unregistered) host-side denominator
+    // only; kept out of canonical reports on purpose
+    std::uint64_t hostBytes = 0;
+
+    void registerMetrics(Registry &registry);
+};
+
+void ProbeStats::registerMetrics(Registry &registry)
+{
+    registry.addCounter("probe", "issued", issued);
+    registry.addCounter("probe", "merged", merged);
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Analyzer fixture: deterministic keys -- simulated ids instead of
+// host addresses -- plus the explicit allow escape for a
+// distinctness-only set whose order never reaches output.
+// expect-clean
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fixture
+{
+
+struct Ledger
+{
+    std::map<std::uint64_t, unsigned> by_txn_id_;
+    // accord-lint: allow(pointer-key) distinctness check only;
+    // iteration order never reaches output
+    std::set<void *> seen_blocks_;
+};
+
+} // namespace fixture

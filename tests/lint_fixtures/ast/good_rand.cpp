@@ -1,0 +1,26 @@
+// Analyzer fixture: names that merely CONTAIN "rand" (members,
+// prefixed identifiers) are not the C rand() family and must not
+// fire.
+// expect-clean
+
+namespace fixture
+{
+
+struct RngStream
+{
+    unsigned long long state = 0x9E3779B97F4A7C15ull;
+
+    unsigned long long rand()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        return state;
+    }
+};
+
+unsigned long long myrand(RngStream &gen)
+{
+    return gen.rand();
+}
+
+} // namespace fixture

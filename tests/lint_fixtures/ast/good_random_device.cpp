@@ -1,0 +1,24 @@
+// Analyzer fixture: deterministic seeding -- a fixed config-supplied
+// seed mixed with a counter.  No entropy source in sight.
+// expect-clean
+
+namespace fixture
+{
+
+struct SeededStream
+{
+    unsigned long long state;
+
+    explicit SeededStream(unsigned long long seed)
+        : state(seed ^ 0x9E3779B97F4A7C15ull)
+    {
+    }
+
+    unsigned long long next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state;
+    }
+};
+
+} // namespace fixture

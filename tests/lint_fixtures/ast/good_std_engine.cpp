@@ -1,0 +1,23 @@
+// Analyzer fixture: the repository's own splitmix-style generator --
+// bit-exact on every host, seeded from config.
+// expect-clean
+
+namespace fixture
+{
+
+struct SplitMix
+{
+    unsigned long long state;
+
+    explicit SplitMix(unsigned long long seed) : state(seed) {}
+
+    unsigned long long next()
+    {
+        unsigned long long z = (state += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// Analyzer fixture: unordered iteration that never reaches output is
+// fine (accumulation is order-insensitive), and the sanctioned
+// pattern for reporting is sort-then-print.
+// expect-clean
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture
+{
+
+struct Directory
+{
+    std::unordered_map<unsigned long long, unsigned> map_;
+
+    unsigned total() const
+    {
+        unsigned sum = 0;
+        for (const auto &kv : map_)
+            sum += kv.second;
+        return sum;
+    }
+
+    void report() const
+    {
+        std::vector<std::pair<unsigned long long, unsigned>> rows(
+            map_.begin(), map_.end());
+        std::sort(rows.begin(), rows.end());
+        for (const auto &row : rows)
+            std::printf("%llu %u\n", row.first, row.second);
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Analyzer fixture: the sanctioned wall-clock uses.  Host-side
+// timing harnesses justify themselves with an allow comment (the
+// multi-line-reason form must cover the statement below it).
+// expect-clean
+
+#include <chrono>
+
+namespace fixture
+{
+
+double timeOne()
+{
+    // accord-lint: allow(wallclock) host-side timing harness; wall
+    // time never feeds a canonical run report
+    const auto start = std::chrono::steady_clock::now();
+    // accord-lint: allow(wallclock) host-side timing harness
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace fixture

@@ -36,8 +36,8 @@ TEST(BlockPool, GrowsPastOneChunk)
 {
     constexpr std::size_t per_chunk = 4;
     BlockPool pool(per_chunk);
-    // Distinctness check only; iteration order never reaches output.
-    // lint: allow(pointer-key)
+    // accord-lint: allow(pointer-key) distinctness check only;
+    // iteration order never reaches output
     std::set<void *> blocks;
     for (int i = 0; i < 3 * static_cast<int>(per_chunk); ++i)
         blocks.insert(pool.take(32));

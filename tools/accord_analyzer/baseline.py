@@ -1,0 +1,63 @@
+"""Committed-findings baseline.
+
+The baseline records every KNOWN finding as a canonical, sorted,
+line-number-free JSON document.  The gate hard-fails on ANY drift:
+
+  * a finding not in the baseline  -> new debt, fix it or allow it;
+  * a baseline entry no longer found -> stale entry, refresh the file
+    (debt was paid down -- the baseline must shrink with it).
+
+Canonical rendering is byte-stable, so `--check-baseline` can assert a
+round-trip and CI can diff the file textually.
+"""
+
+import json
+
+FORMAT = "accord.analyzer_baseline/1"
+
+
+def render(findings):
+    """Canonical JSON text for a set of findings."""
+    entries = sorted({f.key() for f in findings})
+    doc = {
+        "format": FORMAT,
+        "findings": [
+            {"rule": rule, "file": file, "context": context,
+             "detail": detail}
+            for rule, file, context, detail in entries
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load(path):
+    """Read a baseline file; returns (key set, raw text).
+
+    Raises ValueError on format drift so a truncated or hand-mangled
+    baseline fails loudly instead of masking findings.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    doc = json.loads(text)
+    if doc.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: expected format {FORMAT!r}, "
+            f"got {doc.get('format')!r}")
+    keys = set()
+    for entry in doc["findings"]:
+        keys.add((entry["rule"], entry["file"], entry["context"],
+                  entry["detail"]))
+    return keys, text
+
+
+def diff(findings, baseline_keys):
+    """Split current findings against the baseline.
+
+    Returns (new_findings, stale_keys): both must be empty for the
+    gate to pass.
+    """
+    current = {f.key(): f for f in findings}
+    new = [f for key, f in sorted(current.items())
+           if key not in baseline_keys]
+    stale = sorted(baseline_keys - set(current))
+    return new, stale

@@ -1,0 +1,163 @@
+"""Rule evaluation over the shared semantic model.
+
+Frontend-independent: both the portable and the libclang frontends
+produce a model.Model, and every rule decision -- hot-path purity with
+one-level propagation, determinism, metric completeness -- lives here
+so the frontends cannot disagree on POLICY, only on extraction.
+"""
+
+from model import (ALWAYS_CHECKED_STRUCTS, Finding, OP_RULE,
+                   PROPAGATED_OP_KINDS)
+
+# src/common/rng.hpp owns the seeded-PRNG abstraction; the raw-entropy
+# bans obviously cannot apply inside it.
+RNG_EXEMPT_RULES = {"wallclock", "rand", "random-device", "std-engine"}
+
+_HOT_OP_KINDS = ("alloc", "std-function", "string", "virtual-call")
+
+
+def _is_rng_impl(path):
+    return path.replace("\\", "/").endswith("/rng.hpp")
+
+
+def evaluate(model, hot_scope=None, det_scope=None, metric_scope=None):
+    """Evaluate every rule; scopes are file predicates (None = all).
+
+    Returns findings deduplicated by key (line numbers are display-only
+    and excluded from keys, so N same-shape violations in one function
+    collapse -- by design: the baseline must survive reordering).
+    """
+    hot_scope = hot_scope or (lambda f: True)
+    det_scope = det_scope or (lambda f: True)
+    metric_scope = metric_scope or (lambda f: True)
+
+    findings = []
+    findings.extend(_hot_findings(model, hot_scope))
+    findings.extend(_determinism_findings(model, det_scope))
+    findings.extend(_metric_findings(model, metric_scope))
+
+    unique = {}
+    for f in findings:
+        unique.setdefault(f.key(), f)
+    return sorted(unique.values(),
+                  key=lambda f: (f.file, f.rule, f.context, f.detail))
+
+
+# ---------------------------------------------------------------------
+# Hot-path purity
+# ---------------------------------------------------------------------
+
+def _hot_findings(model, scope):
+    findings = []
+    hot_names = {fn.name for fn in model.functions
+                 if fn.is_hot or fn.hot_allow}
+    allow_names = {fn.name for fn in model.functions if fn.hot_allow}
+
+    # Unique-by-last-name resolution map for one-level propagation.
+    by_last = {}
+    for fn in model.functions:
+        if fn.has_body:
+            by_last.setdefault(fn.name.split("::")[-1], []).append(fn)
+
+    for fn in model.functions:
+        if not (fn.is_hot and fn.has_body) or not scope(fn.file):
+            continue
+        if fn.name in allow_names:
+            continue  # ACCORD_HOT_ALLOW: whole-function escape hatch
+
+        for op in fn.ops:
+            if op.kind not in _HOT_OP_KINDS or op.suppressed:
+                continue
+            findings.append(Finding(OP_RULE[op.kind], fn.file,
+                                    fn.context(), op.detail, op.line))
+
+        # One-level call-graph propagation: a hot caller inherits
+        # alloc/std-function/string ops from a non-hot direct callee
+        # when the callee's last name resolves uniquely in the repo.
+        for callee in sorted(set(fn.calls)):
+            cands = by_last.get(callee, ())
+            if len(cands) != 1:
+                continue  # unknown or ambiguous: stay silent
+            g = cands[0]
+            if g.name == fn.name or g.name in hot_names:
+                continue  # hot callees report their own ops
+            for op in g.ops:
+                if op.kind not in PROPAGATED_OP_KINDS or op.suppressed:
+                    continue
+                findings.append(Finding(
+                    OP_RULE[op.kind], fn.file, fn.context(),
+                    f"{op.detail} via {callee}", op.line))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------
+
+def _determinism_findings(model, scope):
+    findings = []
+    for file, line, kind, detail, ctx, suppressed in model.file_ops:
+        if suppressed or not scope(file):
+            continue
+        if kind in RNG_EXEMPT_RULES and _is_rng_impl(file):
+            continue
+        findings.append(Finding(OP_RULE[kind], file, ctx, detail, line))
+
+    for fn in model.functions:
+        if not fn.has_body or not scope(fn.file):
+            continue
+        for op in fn.ops:
+            if op.kind != "unordered-iteration" or op.suppressed:
+                continue
+            findings.append(Finding("unordered-iteration", fn.file,
+                                    fn.context(), op.detail, op.line))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Metric-registration completeness
+# ---------------------------------------------------------------------
+
+def _metric_findings(model, scope):
+    findings = []
+    registered_ids = set()
+    for reg in model.registers:
+        registered_ids.update(reg.identifiers)
+
+    for struct in model.structs:
+        if not scope(struct.file):
+            continue
+        # A struct participates when it defines registerMetrics itself,
+        # when some registerMetrics body names at least one of its
+        # registrable fields, or when it is on the always-checked list
+        # (the "deliberately unregistered" class).
+        named = any(name in registered_ids
+                    for name, _, _, _ in struct.fields)
+        if not (struct.defines_register or named
+                or struct.name in ALWAYS_CHECKED_STRUCTS):
+            continue
+        for name, _ftype, line, allowed in struct.fields:
+            if name in registered_ids:
+                continue
+            if "metric-unregistered" in allowed:
+                continue
+            findings.append(Finding(
+                "metric-unregistered", struct.file, struct.name,
+                f"field '{name}' never registered", line))
+
+    for reg in model.registers:
+        if not scope(reg.file):
+            continue
+        seen = {}
+        for line, path in reg.add_paths:
+            if not path:
+                continue
+            seen.setdefault(path, []).append(line)
+        ctx = "::".join(reg.name.split("::")[-2:])
+        for path, lines in sorted(seen.items()):
+            if len(set(lines)) < 2:
+                continue
+            findings.append(Finding(
+                "metric-duplicate-path", reg.file, ctx,
+                "duplicate metric path " + "/".join(path), lines[0]))
+    return findings

@@ -1,0 +1,71 @@
+"""Per-rule fixture self-test.
+
+Every fixture under tests/lint_fixtures/ast/ declares its contract in
+comment markers (suppress.py grammar):
+
+    // expect: <rule>[, <rule>...]     at least these rules must fire
+    // expect-clean                    no rule may fire
+
+Each fixture is analyzed standalone (own translation unit, every rule
+in scope), and the SET of fired rules is compared against the markers.
+A bad fixture that stops firing, or a good fixture that starts firing,
+fails the suite -- this is what pins the portable frontend's parsing
+contract.
+"""
+
+import pathlib
+
+import portable
+import rules
+import suppress
+
+
+def run(fixture_dir, out=print):
+    """Analyze every fixture; returns the number of failing fixtures."""
+    fixture_dir = pathlib.Path(fixture_dir)
+    files = sorted(p for p in fixture_dir.glob("*")
+                   if p.suffix in (".hpp", ".cpp"))
+    if not files:
+        out(f"self-test: no fixtures found under {fixture_dir}")
+        return 1
+
+    failures = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        expected_rules, expect_clean = suppress.expectations(
+            text.split("\n"))
+        if not expected_rules and not expect_clean:
+            out(f"FAIL {path.name}: no expect:/expect-clean marker")
+            failures += 1
+            continue
+
+        parsed = portable.parse_file(str(path), text)
+        model = portable.build_model([parsed])
+        findings = rules.evaluate(model)
+        fired = {f.rule for f in findings}
+
+        if expect_clean:
+            if fired:
+                out(f"FAIL {path.name}: expected clean, fired "
+                    f"{sorted(fired)}")
+                for f in findings:
+                    out(f"     {f.render()}")
+                failures += 1
+            else:
+                out(f"ok   {path.name}: clean")
+            continue
+
+        expected = set(expected_rules)
+        missing = expected - fired
+        extra = fired - expected
+        if missing or extra:
+            out(f"FAIL {path.name}: expected {sorted(expected)}, "
+                f"fired {sorted(fired)}")
+            for f in findings:
+                out(f"     {f.render()}")
+            failures += 1
+        else:
+            out(f"ok   {path.name}: {sorted(fired)}")
+
+    out(f"self-test: {len(files)} fixtures, {failures} failing")
+    return failures

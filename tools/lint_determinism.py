@@ -1,41 +1,17 @@
 #!/usr/bin/env python3
-"""Determinism lint for the ACCORD simulator sources.
+"""Repository-convention lint for the ACCORD simulator sources.
 
 The parallel sweep runner guarantees bit-identical results across job
-counts and re-runs.  That guarantee rests on conventions no compiler
-enforces: every stochastic decision draws from an explicitly seeded
-``accord::Rng``, no output depends on hash-table or pointer ordering,
-and nothing seeds from wall-clock time.  This linter scans C++ sources
-for the known ways those conventions get broken.
+counts and re-runs.  Most of the conventions backing that guarantee
+are now enforced AST-grade by the semantic analyzer
+(``tools/accord_analyzer``): raw entropy (``rand``, ``random-device``,
+``std-engine``), wall-clock reads (``wallclock``), pointer-keyed
+ordered containers (``pointer-key``) and output-reaching unordered
+iteration (``unordered-iteration``) all live there, with call-graph
+context this line scanner cannot see.  This script keeps only the
+rules that are genuinely textual -- bans on whole constructs in whole
+directories, where a regex is the clearest specification:
 
-Rules
------
-``rand``
-    ``rand()`` / ``srand()`` / ``std::rand()``: hidden global state,
-    seeded implicitly, not reproducible across libcs.
-``random-device``
-    ``std::random_device``: nondeterministic by design.
-``std-engine``
-    ``std::mt19937`` and friends outside ``src/common/rng.hpp``; all
-    randomness must flow through the seeded ``accord::Rng``.
-``time-seed``
-    ``time(NULL)`` / ``time(nullptr)`` / ``time(0)``, or a
-    ``*_clock::now`` on a line that also mentions seeding: wall-clock
-    seeds make every run unique.
-``pointer-key``
-    ``std::map``/``std::set`` keyed by a pointer type: iteration order
-    follows allocation addresses, which vary run to run under ASLR.
-``unordered-iteration``
-    Range-``for`` over a variable declared in the same file as a
-    ``std::unordered_map``/``std::unordered_set``: bucket order depends
-    on the hash implementation and must never reach stats, tables, or
-    logs.  Sort first (see ``DcpDirectory::entries()``), or annotate a
-    provably order-insensitive loop.
-``wallclock-trace``
-    Any wall-clock read (``*_clock::now``, ``gettimeofday``,
-    ``clock_gettime``) in ``trace_event`` sources: trace timestamps
-    must be simulation cycles, or the exported JSON differs on every
-    run and the jobs-independence guarantee breaks.
 ``printf-metrics``
     ``printf``/``fprintf``/``puts``/``fputs`` in ``bench/`` sources:
     results must flow through the report layer (``report::Reporter``
@@ -55,9 +31,14 @@ Rules
     ``EventQueue``, whose calendar buckets keep same-cycle FIFO order
     (and whose overflow heap carries an explicit tiebreak sequence).
 
-Escape hatch: a ``// lint: allow(<rule>)`` comment on the offending
-line or the line directly above suppresses that rule there.  Use it
-only with a comment explaining why the site is deterministic.
+Escape hatch -- ONE grammar shared with the analyzer
+(``tools/accord_analyzer/suppress.py``)::
+
+    // accord-lint: allow(<rule>[, <rule>...]) <reason>
+
+as a trailing comment on the offending line, or on its own line(s)
+directly above (blank and comment-only lines are skipped, so a
+multi-line reason still covers the statement below).
 
 Usage:
     tools/lint_determinism.py [--root DIR] [paths...]
@@ -67,11 +48,11 @@ With no paths, scans src/, bench/, tests/, and examples/ under the
 root (default: the repository containing this script), skipping
 tests/lint_fixtures.  Exits 1 if any violation is found.
 
-Self-test mode scans fixture files instead.  Fixtures declare the
-rules they must trigger with ``// expect: <rule>`` lines (one per
-rule) or declare ``// expect-clean``; the self-test fails if any
-expectation is not met, which guards the linter itself against
-regressions.  Stdlib only; no third-party imports.
+Self-test mode scans fixture files instead (skipping the analyzer's
+``ast/`` fixture subtree, which has its own ``--self-test``).
+Fixtures declare the rules they must trigger with ``// expect:
+<rule>`` lines or declare ``// expect-clean``.  Stdlib only; no
+third-party imports.
 """
 
 import argparse
@@ -79,12 +60,14 @@ import pathlib
 import re
 import sys
 
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent / "accord_analyzer"))
+import suppress  # noqa: E402  (shared accord-lint grammar)
+
 CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
 DEFAULT_SCAN_DIRS = ("src", "bench", "tests", "examples")
 FIXTURE_DIR_NAME = "lint_fixtures"
-
-# Files where std::* engines are allowed (the one seeded wrapper).
-ENGINE_ALLOWLIST = ("src/common/rng.hpp",)
+AST_FIXTURE_DIR_NAME = "ast"
 
 # Files allowed to use std::priority_queue: the event queue itself,
 # whose overflow heap carries an explicit (when, seq) tiebreak.
@@ -100,52 +83,8 @@ LOOKUP_SWITCH_ALLOWLIST = (
     "src/dramcache/enums.cpp",
 )
 
-ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
-EXPECT_CLEAN_RE = re.compile(r"//\s*expect-clean")
-
-# Simple per-line rules: (name, regex, message).
-LINE_RULES = [
-    (
-        "rand",
-        re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("),
-        "rand()/srand() use hidden global state; draw from a seeded "
-        "accord::Rng instead",
-    ),
-    (
-        "random-device",
-        re.compile(r"std::random_device"),
-        "std::random_device is nondeterministic; seed an accord::Rng "
-        "explicitly",
-    ),
-    (
-        "time-seed",
-        re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-        "wall-clock time makes runs irreproducible; derive seeds from "
-        "the run configuration",
-    ),
-    (
-        "pointer-key",
-        re.compile(r"std::(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
-        "pointer-keyed ordered containers iterate in allocation order, "
-        "which varies under ASLR; key by a stable id",
-    ),
-]
-
 # Directories whose sources must print through the report layer.
 REPORT_ONLY_DIRS = ("bench",)
-
-# Path parts whose sources must timestamp with sim cycles only.
-SIM_CLOCK_DIRS = ("trace_event",)
-
-WALLCLOCK_TRACE_RULE = (
-    "wallclock-trace",
-    re.compile(
-        r"_clock\s*::\s*now\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\("
-    ),
-    "trace timestamps must be simulation cycles; a wall-clock read "
-    "here makes the exported trace differ on every run",
-)
 
 PRINTF_RULE = (
     "printf-metrics",
@@ -153,17 +92,6 @@ PRINTF_RULE = (
     "bench output must go through report::Reporter tables/notes so the "
     "text and the JSON report cannot diverge; snprintf into a label is "
     "allowed",
-)
-
-ENGINE_RULE = (
-    "std-engine",
-    re.compile(
-        r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
-        r"|knuth_b|ranlux(?:24|48)(?:_base)?|subtract_with_carry_engine"
-        r"|mersenne_twister_engine|linear_congruential_engine)"
-    ),
-    "std random engines bypass the deterministic accord::Rng; only "
-    "src/common/rng.hpp may wrap one",
 )
 
 PRIORITY_QUEUE_RULE = (
@@ -184,14 +112,6 @@ LOOKUP_SWITCH_RULE = (
     "(planLookup); branching on the mode elsewhere re-creates the "
     "divergent warm/timed lookup paths the plan refactor removed",
 )
-
-CLOCK_NOW_RE = re.compile(r"_clock\s*::\s*now\s*\(")
-SEED_CONTEXT_RE = re.compile(r"seed|Rng\s*[({]|srand", re.IGNORECASE)
-
-UNORDERED_DECL_RE = re.compile(
-    r"std::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;{=(,)]"
-)
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([\w.\->]+)\s*\)")
 
 
 class Violation:
@@ -259,24 +179,6 @@ def split_code_lines(text):
         yield lineno, "".join(code), raw
 
 
-def collect_allows(raw_lines):
-    """Map line number -> set of rules allowed on that line."""
-    allows = {}
-    for lineno, raw in enumerate(raw_lines, start=1):
-        m = ALLOW_RE.search(raw)
-        if m:
-            rules = {r.strip() for r in m.group(1).split(",")}
-            allows[lineno] = rules
-    return allows
-
-
-def is_allowed(allows, lineno, rule):
-    for at in (lineno, lineno - 1):
-        if rule in allows.get(at, set()):
-            return True
-    return False
-
-
 def lint_file(path, rel):
     """Return the list of Violations in one file."""
     try:
@@ -285,9 +187,12 @@ def lint_file(path, rel):
         return [Violation(rel, 0, "io", f"unreadable: {err}")]
 
     raw_lines = text.splitlines()
-    allows = collect_allows(raw_lines)
+    allows = suppress.allowed_rules_by_line(raw_lines)
+
+    def is_allowed(lineno, rule):
+        return rule in allows.get(lineno, set())
+
     violations = []
-    engines_allowed = any(rel.endswith(a) for a in ENGINE_ALLOWLIST)
     lookup_switch_allowed = any(
         rel.endswith(a) for a in LOOKUP_SWITCH_ALLOWLIST
     )
@@ -297,39 +202,16 @@ def lint_file(path, rel):
     report_only = any(
         d in pathlib.PurePath(rel).parts for d in REPORT_ONLY_DIRS
     )
-    sim_clock_only = any(
-        d in pathlib.PurePath(rel).parts for d in SIM_CLOCK_DIRS
-    )
 
-    # Pass 1: find names declared with unordered container types.
-    unordered_names = set()
-    for _, code, _ in split_code_lines(text):
-        for m in UNORDERED_DECL_RE.finditer(code):
-            unordered_names.add(m.group(1))
-
-    # Pass 2: per-line rules.
-    code_lines = list(split_code_lines(text))
-    for i, (lineno, code, _) in enumerate(code_lines):
+    for lineno, code, _ in split_code_lines(text):
         if not code.strip():
             continue
-
-        for rule, regex, message in LINE_RULES:
-            if regex.search(code) and not is_allowed(allows, lineno, rule):
-                violations.append(Violation(rel, lineno, rule, message))
-
-        rule, regex, message = ENGINE_RULE
-        if (
-            not engines_allowed
-            and regex.search(code)
-            and not is_allowed(allows, lineno, rule)
-        ):
-            violations.append(Violation(rel, lineno, rule, message))
 
         rule, regex, message = LOOKUP_SWITCH_RULE
         if (
             not lookup_switch_allowed
             and regex.search(code)
-            and not is_allowed(allows, lineno, rule)
+            and not is_allowed(lineno, rule)
         ):
             violations.append(Violation(rel, lineno, rule, message))
 
@@ -337,15 +219,7 @@ def lint_file(path, rel):
         if (
             not priority_queue_allowed
             and regex.search(code)
-            and not is_allowed(allows, lineno, rule)
-        ):
-            violations.append(Violation(rel, lineno, rule, message))
-
-        rule, regex, message = WALLCLOCK_TRACE_RULE
-        if (
-            sim_clock_only
-            and regex.search(code)
-            and not is_allowed(allows, lineno, rule)
+            and not is_allowed(lineno, rule)
         ):
             violations.append(Violation(rel, lineno, rule, message))
 
@@ -353,48 +227,9 @@ def lint_file(path, rel):
         if (
             report_only
             and regex.search(code)
-            and not is_allowed(allows, lineno, rule)
+            and not is_allowed(lineno, rule)
         ):
             violations.append(Violation(rel, lineno, rule, message))
-
-        # A statement can break between the seed variable and the
-        # clock call, so give the context match a one-line window.
-        context = " ".join(
-            code_lines[j][1]
-            for j in (i - 1, i, i + 1)
-            if 0 <= j < len(code_lines)
-        )
-        if (
-            CLOCK_NOW_RE.search(code)
-            and SEED_CONTEXT_RE.search(context)
-            and not is_allowed(allows, lineno, "time-seed")
-        ):
-            violations.append(
-                Violation(
-                    rel,
-                    lineno,
-                    "time-seed",
-                    "clock-derived seed; derive seeds from the run "
-                    "configuration",
-                )
-            )
-
-        for m in RANGE_FOR_RE.finditer(code):
-            expr = m.group(1)
-            name = expr.split(".")[-1].split("->")[-1]
-            if name in unordered_names and not is_allowed(
-                allows, lineno, "unordered-iteration"
-            ):
-                violations.append(
-                    Violation(
-                        rel,
-                        lineno,
-                        "unordered-iteration",
-                        f"range-for over unordered container '{name}': "
-                        "bucket order is not deterministic; sort first "
-                        "or annotate an order-insensitive loop",
-                    )
-                )
     return violations
 
 
@@ -444,7 +279,10 @@ def run_self_test(fixture_dir):
     """Check every fixture triggers exactly the rules it declares."""
     fixture_dir = pathlib.Path(fixture_dir)
     fixtures = sorted(
-        p for p in fixture_dir.rglob("*") if p.suffix in CXX_SUFFIXES
+        p
+        for p in fixture_dir.rglob("*")
+        if p.suffix in CXX_SUFFIXES
+        and AST_FIXTURE_DIR_NAME not in p.relative_to(fixture_dir).parts
     )
     if not fixtures:
         print(f"self-test: no fixtures under {fixture_dir}")
@@ -453,8 +291,9 @@ def run_self_test(fixture_dir):
     failures = 0
     for path in fixtures:
         text = path.read_text(encoding="utf-8", errors="replace")
-        expected = set(EXPECT_RE.findall(text))
-        expect_clean = bool(EXPECT_CLEAN_RE.search(text))
+        expected_rules, expect_clean = suppress.expectations(
+            text.splitlines())
+        expected = set(expected_rules)
         if not expected and not expect_clean:
             print(f"self-test: {path}: no expectations declared")
             failures += 1
@@ -477,7 +316,7 @@ def run_self_test(fixture_dir):
 
 def main():
     parser = argparse.ArgumentParser(
-        description="determinism lint for ACCORD C++ sources"
+        description="textual convention lint for ACCORD C++ sources"
     )
     parser.add_argument(
         "--root",
