@@ -51,7 +51,7 @@ cyclicHitRate(unsigned iterations, double pip, std::uint64_t seed)
     // Enough pairs for a stable estimate.
     const std::uint64_t pairs = 2000;
     for (std::uint64_t i = 0; i < pairs * 2 * iterations; ++i)
-        cache.warmRead(gen.next());
+        cache.warmRead(gen.next().line);
     return cache.stats().readHits.rate();
 }
 

@@ -11,6 +11,8 @@
  *   warm    functional-only run (untimed warm + measurement phases)
  *   timed   full timed run (the event-queue/controller hot path)
  *   traced  timed run with the transaction tracer attached
+ *   replay  functional replay of an accord.trace/1 binary trace
+ *           (trace decode + functional shell, no generator)
  *
  * Each mode runs `reps=` times (default 3) and the report records the
  * best rep, so transient host noise cannot fake a regression.  The
@@ -25,10 +27,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_common.hpp"
+#include "trace/bintrace.hpp"
+#include "trace/generator.hpp"
 
 using namespace accord;
 
@@ -41,13 +48,37 @@ struct Mode
     const char *name;
     bool timed;
     bool traced;
+    bool replay;
 };
 
 constexpr Mode kModes[] = {
-    {"warm", false, false},
-    {"timed", true, false},
-    {"traced", true, true},
+    {"warm", false, false, false},
+    {"timed", true, false, false},
+    {"traced", true, true, false},
+    {"replay", false, false, true},
 };
+
+/**
+ * Record a bounded accord.trace/1 trace from the workload's synthetic
+ * model, so the replay mode times trace decode + functional shell on
+ * the same stream the other modes generate inline.
+ */
+std::string
+recordReplayTrace(const std::string &workload, std::uint64_t records,
+                  std::uint64_t scale)
+{
+    const std::string path = "/tmp/accord_bench_replay_"
+        + std::to_string(::getpid()) + ".trc";
+    const auto &spec = *trace::coreAssignment(workload, 1)[0];
+    const auto params = trace::generatorParams(spec, 0, 1, scale, 1);
+    trace::WorkloadGen gen(params);
+    trace::WritebackMixer mixer(gen, spec.wbFrac, 2048, 7);
+    trace::BinTraceWriter writer(path);
+    for (std::uint64_t i = 0; i < records; ++i)
+        writer.append(mixer.next());
+    writer.close();
+    return path;
+}
 
 /** One repetition's wall-clock measurements. */
 struct Rep
@@ -96,6 +127,11 @@ main(int argc, char **argv)
         rep.cli().getString("config", "2way-pws+gws");
     const auto reps =
         static_cast<unsigned>(rep.cli().getUint("reps", 3));
+    const std::uint64_t trace_records =
+        rep.cli().getUint("trace_records", 4'000'000);
+
+    const std::string trace_path = recordReplayTrace(
+        workload, trace_records, rep.cli().getUint("scale", 128));
 
     report::ReportTable &table = rep.table(
         "throughput",
@@ -113,6 +149,15 @@ main(int argc, char **argv)
             config.traceCap = 4096;
         }
         sim::applyCliOverrides(config, rep.cli());
+        if (mode.replay) {
+            // Cold single-pass replay striped over the cores: decode
+            // throughput plus the functional shell, nothing else.
+            config.runTimed = false;
+            config.warmPerCore = 0;
+            config.measurePerCore = 0;
+            config.trafficSpec =
+                "trace(file=" + trace_path + ",loop=0,stripe=1)";
+        }
 
         Rep best;
         for (unsigned r = 0; r < reps; ++r) {
@@ -153,6 +198,7 @@ main(int argc, char **argv)
                                best.eventsPerSec());
     }
 
+    std::remove(trace_path.c_str());
     rep.note("best-of-%u reps per mode; regression gate: "
              "tools/check_perf_regression.py", reps);
     return rep.finish();

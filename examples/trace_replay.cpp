@@ -4,13 +4,13 @@
  * trace file, then replay it against any cache configuration.
  *
  * This is the adoption path for users with real workloads: convert a
- * captured post-LLC miss stream to the ACCORD trace format (8-byte
- * header "ACRDTRC1", then 9-byte records: little-endian line address +
- * flags byte with bit 0 = writeback) and point this tool at it.
- * Without a trace= argument the example records a demo trace from the
- * synthetic 'omnet' model first, so it is runnable out of the box.
+ * captured post-LLC miss stream to the compact accord.trace/1 binary
+ * format with tools/convert_trace.py (docs/TRACES.md documents the
+ * format) and point this tool at it.  Without a trace= argument the
+ * example records a demo trace from the synthetic 'omnet' model
+ * first, so it is runnable out of the box.
  *
- * Usage: trace_replay [trace=path.bin] [capacity=32M] [passes=4]
+ * Usage: trace_replay [trace=path.trc] [capacity=32M] [passes=4]
  */
 
 #include <cstdio>
@@ -20,7 +20,8 @@
 #include "core/factory.hpp"
 #include "dramcache/controller.hpp"
 #include "nvm/nvm_system.hpp"
-#include "trace/trace_file.hpp"
+#include "trace/bintrace.hpp"
+#include "trace/generator.hpp"
 #include "trace/workloads.hpp"
 
 using namespace accord;
@@ -32,15 +33,16 @@ namespace
 std::string
 recordDemoTrace(std::uint64_t accesses)
 {
-    const std::string path = "/tmp/accord_demo_trace.bin";
+    const std::string path = "/tmp/accord_demo_trace.trc";
     const auto &spec = trace::findBenchmark("omnet");
     const auto params = trace::generatorParams(spec, 0, 1, 256, 1);
     trace::WorkloadGen gen(params);
     trace::WritebackMixer mixer(gen, spec.wbFrac, 512, 7);
 
-    trace::TraceWriter writer(path);
+    trace::BinTraceWriter writer(path);
     for (std::uint64_t i = 0; i < accesses; ++i)
         writer.append(mixer.next());
+    writer.close();
     std::printf("recorded %llu accesses to %s\n",
                 static_cast<unsigned long long>(
                     writer.recordsWritten()),
@@ -75,25 +77,25 @@ replay(const std::string &path, unsigned ways,
                                          dram::hbmCacheTiming(), eq,
                                          nvm);
 
-    trace::TraceReplay trace(path, /* loop */ true);
-    // Warm passes, then one measured pass.
-    for (unsigned pass = 0; pass + 1 < passes; ++pass) {
-        for (std::uint64_t i = 0; i < trace.size(); ++i) {
-            const trace::L4Access access = trace.next();
-            if (access.isWriteback)
-                cache.warmWriteback(access.line);
+    // Warm passes, then one measured pass; exercised through the same
+    // TrafficSource interface a full System run would use.
+    trace::TraceSource source(path, /* loop */ false,
+                              /* stripe_count */ 1,
+                              /* stripe_index */ 0);
+    const auto onePass = [&] {
+        while (!source.exhausted()) {
+            const trace::Request req = source.next();
+            if (req.kind == core::RequestKind::Writeback)
+                cache.warmWriteback(req.line);
             else
-                cache.warmRead(access.line);
+                cache.warmRead(req.line);
         }
-    }
+        source.rewind();
+    };
+    for (unsigned pass = 0; pass + 1 < passes; ++pass)
+        onePass();
     cache.resetStats();
-    for (std::uint64_t i = 0; i < trace.size(); ++i) {
-        const trace::L4Access access = trace.next();
-        if (access.isWriteback)
-            cache.warmWriteback(access.line);
-        else
-            cache.warmRead(access.line);
-    }
+    onePass();
 
     const auto &s = cache.stats();
     table.row()

@@ -1,0 +1,29 @@
+#include "core/enums.hpp"
+
+#include "common/log.hpp"
+
+namespace accord::core
+{
+
+const char *
+toToken(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Demand: return "demand";
+      case RequestKind::Writeback: return "writeback";
+    }
+    fatal("unknown RequestKind %d", static_cast<int>(kind));
+}
+
+RequestKind
+requestKindFromToken(const std::string &token)
+{
+    for (const auto kind :
+         {RequestKind::Demand, RequestKind::Writeback}) {
+        if (token == toToken(kind))
+            return kind;
+    }
+    fatal("unknown request kind '%s'", token.c_str());
+}
+
+} // namespace accord::core

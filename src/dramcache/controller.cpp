@@ -351,8 +351,27 @@ DramCacheController::writebackCommon(LineAddr line, bool timed,
 void
 DramCacheController::resetStats()
 {
+    ACCORD_ASSERT(!stats_excluded_,
+                  "resetStats() inside a stats-exclusion window");
     stats_.reset();
     hbm_.resetStats();
+}
+
+void
+DramCacheController::beginStatsExclusion()
+{
+    ACCORD_ASSERT(!stats_excluded_, "stats exclusion cannot nest");
+    excluded_saved_ = stats_;
+    stats_excluded_ = true;
+}
+
+void
+DramCacheController::endStatsExclusion()
+{
+    ACCORD_ASSERT(stats_excluded_,
+                  "endStatsExclusion() without begin");
+    stats_ = excluded_saved_;
+    stats_excluded_ = false;
 }
 
 void

@@ -107,6 +107,20 @@ class DramCacheController : private OrgServices
     void resetStats();
 
     /**
+     * Exclude the functional accesses between begin and end from
+     * stats(): the counters are snapshotted at begin and restored at
+     * end, while cache/tag/predictor state keeps updating.  This is
+     * how sampled simulation (Request::warmup, see
+     * trace/sample.hpp) warms the arrays before a selected window
+     * without polluting measured statistics.  Warm-shell only, must
+     * not nest or span resetStats(); way-policy internal counters are
+     * not covered (docs/TRACES.md, warmup policy).
+     */
+    void beginStatsExclusion();
+    void endStatsExclusion();
+    bool statsExcluded() const { return stats_excluded_; }
+
+    /**
      * Register controller metrics under `prefix` (typically "l4"):
      * the lookup/way-prediction ratios, transfer and writeback
      * counters, latency averages, the transfers-per-read gauge, and
@@ -204,6 +218,11 @@ class DramCacheController : private OrgServices
     TagStore tags;
     DcpDirectory dcp;
     DramCacheStats stats_;
+
+    /** Snapshot taken by beginStatsExclusion(). */
+    DramCacheStats excluded_saved_;
+    bool stats_excluded_ = false;
+
     std::unique_ptr<OrgStrategy> org_;
 
     /**

@@ -9,10 +9,11 @@ namespace accord::sim
 {
 
 CoreModel::CoreModel(unsigned id, const CoreParams &params,
-                     trace::WritebackMixer &stream,
+                     trace::TrafficSource &stream,
                      dramcache::DramCacheController &cache,
                      EventQueue &eq)
-    : id_(id), params(params), stream(stream), cache(cache), eq(eq)
+    : id_(id), params(params), stream(stream), cache(cache), eq(eq),
+      quota_(params.quota)
 {
     ACCORD_ASSERT(params.mpki > 0.0, "core needs a positive MPKI");
     ACCORD_ASSERT(params.mlp >= 1, "core needs at least one MSHR");
@@ -31,7 +32,7 @@ CoreModel::start()
 void
 CoreModel::tryIssue()
 {
-    while (issued < params.quota && outstanding < params.mlp) {
+    while (issued < quota_ && outstanding < params.mlp) {
         if (eq.now() < next_ready) {
             if (!issue_scheduled) {
                 issue_scheduled = true;
@@ -43,17 +44,28 @@ CoreModel::tryIssue()
             return;
         }
 
+        // A bounded stream that runs dry simply ends the core's run:
+        // shrink the quota to what was actually issued.
+        if (stream.exhausted()) {
+            quota_ = issued;
+            return;
+        }
+
         // Drain any writebacks interleaved in the stream: they are
         // posted and do not consume an MSHR or pacing slot.
-        trace::L4Access access = stream.next();
-        while (access.isWriteback) {
+        trace::Request req = stream.next();
+        while (req.kind == core::RequestKind::Writeback) {
             trace_event::TxnId wb = trace_event::kNoTxn;
             if (tracer_ != nullptr) {
                 wb = tracer_->begin(trace_event::TxnKind::Writeback,
-                                    id_, access.line, eq.now());
+                                    id_, req.line, eq.now());
             }
-            cache.writeback(access.line, wb);
-            access = stream.next();
+            cache.writeback(req.line, wb);
+            if (stream.exhausted()) {
+                quota_ = issued;
+                return;
+            }
+            req = stream.next();
         }
 
         ++issued;
@@ -62,9 +74,9 @@ CoreModel::tryIssue()
         trace_event::TxnId txn = trace_event::kNoTxn;
         if (tracer_ != nullptr) {
             txn = tracer_->begin(trace_event::TxnKind::Read, id_,
-                                 access.line, eq.now());
+                                 req.line, eq.now());
         }
-        cache.read(access.line, [this](bool, Cycle when) {
+        cache.read(req.line, [this](bool, Cycle when) {
             onReadDone(when);
         }, txn);
     }
@@ -75,11 +87,15 @@ CoreModel::onReadDone(Cycle when)
 {
     --outstanding;
     ++completed;
-    if (completed == params.quota) {
+    if (completed >= quota_) {
         finish_time = when;
         return;
     }
     tryIssue();
+    // tryIssue may have shrunk the quota on stream exhaustion; if that
+    // made this completion the last one, record the finish now.
+    if (finished() && outstanding == 0 && finish_time == 0)
+        finish_time = when;
 }
 
 double
@@ -91,7 +107,7 @@ CoreModel::ipc() const
     if (cycles <= 0.0)
         return 0.0;
     const double instructions =
-        static_cast<double>(params.quota) * instrPerAccess();
+        static_cast<double>(quota_) * instrPerAccess();
     return instructions / cycles;
 }
 

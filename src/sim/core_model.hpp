@@ -19,7 +19,7 @@
 #include "common/event_queue.hpp"
 #include "common/metrics/registry.hpp"
 #include "dramcache/controller.hpp"
-#include "trace/generator.hpp"
+#include "trace/source.hpp"
 
 namespace accord::sim
 {
@@ -40,12 +40,19 @@ struct CoreParams
     std::uint64_t quota = 6000;
 };
 
-/** One timed core. */
+/**
+ * One timed core.
+ *
+ * The core pulls Request records from any TrafficSource: demand reads
+ * are paced and issued, writeback records are posted for free, and a
+ * bounded source that exhausts mid-run simply shrinks the quota to
+ * what was actually issued.
+ */
 class CoreModel
 {
   public:
     CoreModel(unsigned id, const CoreParams &params,
-              trace::WritebackMixer &stream,
+              trace::TrafficSource &stream,
               dramcache::DramCacheController &cache, EventQueue &eq);
 
     CoreModel(const CoreModel &) = delete;
@@ -54,8 +61,9 @@ class CoreModel
     /** Begin issuing (call once, before running the queue). */
     void start();
 
-    /** All quota reads have completed. */
-    bool finished() const { return completed >= params.quota; }
+    /** All quota reads have completed (quota may have shrunk if the
+     *  stream exhausted). */
+    bool finished() const { return completed >= quota_; }
 
     /** Cycle the last read completed (valid once finished). */
     Cycle finishTime() const { return finish_time; }
@@ -97,9 +105,13 @@ class CoreModel
 
     unsigned id_;
     CoreParams params;
-    trace::WritebackMixer &stream;
+    trace::TrafficSource &stream;
     dramcache::DramCacheController &cache;
     EventQueue &eq;
+
+    /** Effective demand-read quota (params.quota, shrunk on stream
+     *  exhaustion). */
+    std::uint64_t quota_;
 
     Cycle gap_cycles;
     Cycle next_ready = 0;

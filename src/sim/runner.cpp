@@ -2,6 +2,8 @@
 
 #include "common/log.hpp"
 #include "sim/sweep.hpp"
+#include "trace/sample.hpp"
+#include "trace/source.hpp"
 
 namespace accord::sim
 {
@@ -48,6 +50,8 @@ applyCliOverrides(SystemConfig &config, const Config &cli)
     config.epochEvery = cli.getUint("epoch", config.epochEvery);
     config.tracePath = cli.getString("trace", config.tracePath);
     config.traceCap = cli.getUint("trace_cap", config.traceCap);
+    config.trafficSpec = cli.getString("source", config.trafficSpec);
+    config.sampleSpec = cli.getString("sample", config.sampleSpec);
 }
 
 std::string
@@ -85,6 +89,19 @@ canonicalConfigSpec(const SystemConfig &config)
         + (config.fullHierarchy ? "full" : "post_l3");
     spec += " epoch=" + u64(config.epochEvery);
     spec += " seed=" + u64(config.seed);
+
+    // Appended only for non-default frontends so reports produced
+    // before the TrafficSource API stay byte-identical.
+    if (config.trafficSpec != trace::kDefaultTrafficSpec
+        || !config.sampleSpec.empty()) {
+        spec += " source="
+            + trace::canonicalTrafficSpec(config.trafficSpec);
+        spec += " sample="
+            + (config.sampleSpec.empty()
+                   ? std::string("off")
+                   : trace::SampleParams::fromString(config.sampleSpec)
+                         .toString());
+    }
     return spec;
 }
 

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/trace_event/tracer.hpp"
+#include "trace/sample.hpp"
 
 namespace accord::sim
 {
@@ -43,16 +44,40 @@ System::System(const SystemConfig &config) : config_(config)
 
     assignment =
         trace::coreAssignment(config_.workload, config_.numCores);
+    if (config_.fullHierarchy
+        && trace::parseSourceSpec(config_.trafficSpec).name
+            != "synthetic")
+        fatal("full-hierarchy mode filters CPU demand streams and "
+              "supports source=synthetic only");
+    if (!config_.sampleSpec.empty() && config_.fullHierarchy)
+        fatal("sample= cannot be combined with full-hierarchy mode "
+              "(the hierarchy holds unwarmable filter state)");
+    if (!config_.sampleSpec.empty() && config_.runTimed)
+        fatal("sample= supports functional runs only "
+              "(set runTimed=false)");
     for (unsigned core = 0; core < config_.numCores; ++core) {
-        const trace::WorkloadGenParams gen_params =
-            trace::generatorParams(*assignment[core], core,
-                                   config_.numCores, config_.scale,
-                                   config_.seed);
-        generators.push_back(
-            std::make_unique<trace::WorkloadGen>(gen_params));
-        mixers.push_back(std::make_unique<trace::WritebackMixer>(
-            *generators.back(), assignment[core]->wbFrac, config_.wbLag,
-            mix64(config_.seed * 977 + core)));
+        trace::SourceContext ctx;
+        ctx.spec = assignment[core];
+        ctx.core = core;
+        ctx.numCores = config_.numCores;
+        ctx.scale = config_.scale;
+        ctx.seed = config_.seed;
+        ctx.wbLag = config_.wbLag;
+        // The hierarchy generates L4 writebacks itself, so in
+        // full-hierarchy mode the source emits pure demand traffic.
+        ctx.mixWritebacks = !config_.fullHierarchy;
+        auto source =
+            trace::makeTrafficSource(config_.trafficSpec, ctx);
+        if (!config_.sampleSpec.empty()) {
+            trace::SampleParams sample =
+                trace::SampleParams::fromString(config_.sampleSpec);
+            // Per-core sampler stream: fold the core id in so cores
+            // sharing a spec still cluster independently.
+            sample.seed = mix64(sample.seed ^ (0x5a3fULL + core));
+            source = std::make_unique<trace::SampledSource>(
+                std::move(source), sample);
+        }
+        sources.push_back(std::move(source));
         if (config_.fullHierarchy) {
             hierarchies.push_back(std::make_unique<cache::Hierarchy>(
                 cache::HierarchyParams{}));
@@ -94,18 +119,14 @@ System::~System() = default;
 void
 System::warm()
 {
-    // Auto quota: enough passes over each core's footprint to reach a
-    // steady-state cache population.
+    // Auto quota: each source knows how much functional warmup makes
+    // sense for it (enough footprint passes for the synthetic models,
+    // none for bounded streams that warmup would consume).
     std::vector<std::uint64_t> remaining(config_.numCores);
     for (unsigned core = 0; core < config_.numCores; ++core) {
-        if (config_.warmPerCore > 0) {
-            remaining[core] = config_.warmPerCore;
-        } else {
-            remaining[core] = std::max<std::uint64_t>(
-                50'000,
-                generators[core]->params().footprintLines
-                    * assignment[core]->warmPasses);
-        }
+        remaining[core] = config_.warmPerCore > 0
+            ? config_.warmPerCore
+            : sources[core]->defaultWarmQuota();
     }
 
     // Fine-grained round-robin so cores interleave in the sets the way
@@ -115,11 +136,15 @@ System::warm()
     while (any) {
         any = false;
         for (unsigned core = 0; core < config_.numCores; ++core) {
-            const std::uint64_t n =
+            std::uint64_t n =
                 std::min<std::uint64_t>(chunk, remaining[core]);
-            for (std::uint64_t i = 0; i < n; ++i)
+            while (n > 0 && !sources[core]->exhausted()) {
                 funcAccess(core);
-            remaining[core] -= n;
+                --n;
+                --remaining[core];
+            }
+            if (sources[core]->exhausted())
+                remaining[core] = 0;
             any = any || remaining[core] > 0;
         }
     }
@@ -128,20 +153,38 @@ System::warm()
 void
 System::measureFunctional()
 {
-    std::vector<std::uint64_t> remaining(config_.numCores,
-                                         config_.measurePerCore);
-    bool any = config_.measurePerCore > 0;
+    // A bounded source with measure=0 runs to exhaustion (trace and
+    // sampled replays); an unbounded one needs an explicit budget.
+    std::vector<std::uint64_t> remaining(config_.numCores);
+    bool any = false;
+    for (unsigned core = 0; core < config_.numCores; ++core) {
+        if (config_.measurePerCore > 0)
+            remaining[core] = config_.measurePerCore;
+        else if (sources[core]->bounded())
+            remaining[core] = ~std::uint64_t(0);
+        if (sources[core]->exhausted())
+            remaining[core] = 0;
+        any = any || remaining[core] > 0;
+    }
+
     std::uint64_t done = 0;
     constexpr unsigned chunk = 8;
     while (any) {
         any = false;
         for (unsigned core = 0; core < config_.numCores; ++core) {
-            const std::uint64_t n =
+            std::uint64_t n =
                 std::min<std::uint64_t>(chunk, remaining[core]);
-            for (std::uint64_t i = 0; i < n; ++i)
-                funcAccess(core);
-            remaining[core] -= n;
-            done += n;
+            while (n > 0 && !sources[core]->exhausted()) {
+                --n;
+                --remaining[core];
+                ++accesses_executed_;
+                // Sampled warmup-replay accesses update cache state
+                // but do not advance the measured-epoch position.
+                if (funcAccess(core))
+                    ++done;
+            }
+            if (sources[core]->exhausted())
+                remaining[core] = 0;
             any = any || remaining[core] > 0;
         }
         maybeSampleEpoch(done);
@@ -157,22 +200,28 @@ System::maybeSampleEpoch(std::uint64_t position)
     next_epoch_at_ = position + config_.epochEvery;
 }
 
-void
+bool
 System::funcAccess(unsigned core)
 {
     if (!config_.fullHierarchy) {
-        const trace::L4Access access = mixers[core]->next();
-        if (access.isWriteback)
-            cache_->warmWriteback(access.line);
+        const trace::Request req = sources[core]->next();
+        // Warmup-replay accesses (sampled simulation) update cache
+        // state under stats exclusion so measurements stay clean.
+        if (req.warmup)
+            cache_->beginStatsExclusion();
+        if (req.kind == core::RequestKind::Writeback)
+            cache_->warmWriteback(req.line);
         else
-            cache_->warmRead(access.line);
-        return;
+            cache_->warmRead(req.line);
+        if (req.warmup)
+            cache_->endStatsExclusion();
+        return !req.warmup;
     }
 
-    // Full-hierarchy mode: the generator's line is a CPU demand
-    // access; stores follow the benchmark's writeback fraction, and
-    // the hierarchy decides what reaches the L4.
-    const LineAddr line = generators[core]->next();
+    // Full-hierarchy mode: the source's line is a CPU demand access;
+    // stores follow the benchmark's writeback fraction, and the
+    // hierarchy decides what reaches the L4.
+    const LineAddr line = sources[core]->next().line;
     const bool is_write =
         write_rngs[core].chance(assignment[core]->wbFrac);
     const cache::FilterResult result =
@@ -183,6 +232,7 @@ System::funcAccess(unsigned core)
         else
             cache_->warmRead(txn.line);
     }
+    return true;
 }
 
 void
@@ -195,7 +245,7 @@ System::runTimed()
         params.mlp = config_.mlp;
         params.quota = config_.timedPerCore;
         cores.push_back(std::make_unique<CoreModel>(
-            core, params, *mixers[core], *cache_, eq));
+            core, params, *sources[core], *cache_, eq));
         cores.back()->setTracer(tracer_.get());
         cores.back()->registerMetrics(
             registry_, "core" + std::to_string(core));
@@ -242,6 +292,7 @@ System::run()
 
     SystemMetrics m;
     m.eventsExecuted = eq.executed();
+    m.accessesExecuted = accesses_executed_;
     m.cacheStats = cache_->stats();
     m.hitRate = m.cacheStats.readHits.rate();
     m.wpAccuracy = m.cacheStats.wayPrediction.rate();

@@ -1,0 +1,410 @@
+#include "trace/bintrace.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+#ifdef ACCORD_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace accord::trace
+{
+
+namespace
+{
+
+/** Buffered-IO chunk size: bounded memory however large the trace. */
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+constexpr unsigned char kCtrlWriteback = 0x01;
+constexpr unsigned char kCtrlClassFollows = 0x02;
+constexpr unsigned char kCtrlReservedMask = 0xFC;
+
+void
+putVarint(std::vector<unsigned char> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<unsigned char>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<unsigned char>(value));
+}
+
+std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1)
+        ^ static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1)
+        ^ -static_cast<std::int64_t>(value & 1);
+}
+
+} // namespace
+
+bool
+binTraceGzipAvailable()
+{
+#ifdef ACCORD_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+BinTraceWriter::BinTraceWriter(const std::string &path, bool gzip)
+{
+    buffer_.reserve(kChunkBytes + 32);
+    unsigned char header[kBinTraceHeaderBytes] = {};
+    std::memcpy(header, kBinTraceMagic, sizeof(kBinTraceMagic));
+    // flags byte and record count stay 0; close() patches the count
+    // for plain files.
+    if (gzip) {
+#ifdef ACCORD_HAVE_ZLIB
+        gzFile gz = gzopen(path.c_str(), "wb6");
+        if (gz == nullptr)
+            fatal("cannot open trace '%s' for writing", path.c_str());
+        gz_ = gz;
+        if (gzwrite(gz, header, sizeof(header))
+            != static_cast<int>(sizeof(header)))
+            fatal("write error on trace '%s'", path.c_str());
+#else
+        fatal("gzip trace output needs zlib (built without "
+              "ACCORD_HAVE_ZLIB)");
+#endif
+        return;
+    }
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        fatal("cannot open trace '%s' for writing", path.c_str());
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        fatal("write error on trace '%s'", path.c_str());
+}
+
+BinTraceWriter::~BinTraceWriter()
+{
+    close();
+}
+
+void
+BinTraceWriter::append(LineAddr line, core::RequestKind kind,
+                       std::uint16_t cls)
+{
+    unsigned char control = 0;
+    if (kind == core::RequestKind::Writeback)
+        control |= kCtrlWriteback;
+    if (cls != prev_cls_)
+        control |= kCtrlClassFollows;
+    buffer_.push_back(control);
+    putVarint(buffer_,
+              zigzagEncode(static_cast<std::int64_t>(line - prev_line_)));
+    if (control & kCtrlClassFollows)
+        putVarint(buffer_, cls);
+    prev_line_ = line;
+    prev_cls_ = cls;
+    ++records_;
+    if (buffer_.size() >= kChunkBytes)
+        flushBuffer();
+}
+
+void
+BinTraceWriter::flushBuffer()
+{
+    if (buffer_.empty())
+        return;
+#ifdef ACCORD_HAVE_ZLIB
+    if (gz_ != nullptr) {
+        if (gzwrite(static_cast<gzFile>(gz_), buffer_.data(),
+                    static_cast<unsigned>(buffer_.size()))
+            != static_cast<int>(buffer_.size()))
+            fatal("write error on gzip trace");
+        buffer_.clear();
+        return;
+    }
+#endif
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_)
+        != buffer_.size())
+        fatal("write error on trace");
+    buffer_.clear();
+}
+
+void
+BinTraceWriter::close()
+{
+    if (file_ == nullptr && gz_ == nullptr)
+        return;
+    flushBuffer();
+#ifdef ACCORD_HAVE_ZLIB
+    if (gz_ != nullptr) {
+        // Record count stays "unknown" — a gzip stream cannot be
+        // patched in place after writing.
+        gzclose(static_cast<gzFile>(gz_));
+        gz_ = nullptr;
+        return;
+    }
+#endif
+    // Patch the record count into the fixed header slot.
+    unsigned char count[8];
+    for (int i = 0; i < 8; ++i)
+        count[i] = static_cast<unsigned char>(records_ >> (8 * i));
+    if (std::fseek(file_, 9, SEEK_SET) != 0
+        || std::fwrite(count, 1, sizeof(count), file_) != sizeof(count))
+        fatal("cannot patch record count into trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+BinTraceReader::BinTraceReader(const std::string &path) : path_(path)
+{
+    buffer_.resize(kChunkBytes);
+    open();
+}
+
+BinTraceReader::~BinTraceReader()
+{
+    closeFile();
+}
+
+void
+BinTraceReader::open()
+{
+#ifdef ACCORD_HAVE_ZLIB
+    // gzread reads gzip-wrapped and plain files transparently.
+    gzFile gz = gzopen(path_.c_str(), "rb");
+    if (gz == nullptr)
+        fatal("cannot open trace '%s'", path_.c_str());
+    gz_ = gz;
+#else
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr)
+        fatal("cannot open trace '%s'", path_.c_str());
+#endif
+    buf_pos_ = 0;
+    buf_len_ = 0;
+    records_ = 0;
+    prev_line_ = 0;
+    cls_ = 0;
+    readHeader();
+}
+
+void
+BinTraceReader::closeFile()
+{
+#ifdef ACCORD_HAVE_ZLIB
+    if (gz_ != nullptr) {
+        gzclose(static_cast<gzFile>(gz_));
+        gz_ = nullptr;
+    }
+#endif
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+BinTraceReader::fill()
+{
+    buf_pos_ = 0;
+#ifdef ACCORD_HAVE_ZLIB
+    const int n = gzread(static_cast<gzFile>(gz_), buffer_.data(),
+                         static_cast<unsigned>(buffer_.size()));
+    if (n < 0)
+        fatal("read error on trace '%s'", path_.c_str());
+    buf_len_ = static_cast<std::size_t>(n);
+#else
+    buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+#endif
+    return buf_len_ > 0;
+}
+
+bool
+BinTraceReader::tryByte(unsigned char &out)
+{
+    if (buf_pos_ >= buf_len_ && !fill())
+        return false;
+    out = buffer_[buf_pos_++];
+    return true;
+}
+
+unsigned char
+BinTraceReader::needByte(const char *what)
+{
+    unsigned char byte;
+    if (!tryByte(byte))
+        fatal("truncated trace '%s' (eof inside %s)", path_.c_str(),
+              what);
+    return byte;
+}
+
+std::uint64_t
+BinTraceReader::readVarint(const char *what)
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const unsigned char byte = needByte(what);
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+        if (shift >= 64)
+            fatal("corrupt trace '%s' (varint overflow in %s)",
+                  path_.c_str(), what);
+    }
+}
+
+void
+BinTraceReader::readHeader()
+{
+    unsigned char header[kBinTraceHeaderBytes];
+    for (std::size_t i = 0; i < sizeof(header); ++i) {
+        if (!tryByte(header[i]))
+            fatal("not an ACCORD binary trace: '%s' (short header)",
+                  path_.c_str());
+    }
+    if (std::memcmp(header, kBinTraceMagic, sizeof(kBinTraceMagic))
+        != 0)
+        fatal("not an ACCORD binary trace: '%s' (bad magic)",
+              path_.c_str());
+    if (header[8] != 0)
+        fatal("trace '%s': unsupported flags 0x%02x", path_.c_str(),
+              header[8]);
+    declared_ = 0;
+    for (int i = 0; i < 8; ++i)
+        declared_ |= static_cast<std::uint64_t>(header[9 + i])
+            << (8 * i);
+}
+
+bool
+BinTraceReader::next(Request &out)
+{
+    unsigned char control;
+    if (!tryByte(control)) {
+        if (declared_ > 0 && records_ != declared_)
+            fatal("truncated trace '%s' (%llu of %llu records)",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(records_),
+                  static_cast<unsigned long long>(declared_));
+        return false;
+    }
+    if (control & kCtrlReservedMask)
+        fatal("corrupt trace '%s' (reserved control bits set)",
+              path_.c_str());
+    const std::int64_t delta =
+        zigzagDecode(readVarint("line delta"));
+    prev_line_ += static_cast<std::uint64_t>(delta);
+    if (control & kCtrlClassFollows) {
+        const std::uint64_t cls = readVarint("request class");
+        if (cls > 0xFFFF)
+            fatal("corrupt trace '%s' (request class %llu > 16 bit)",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(cls));
+        cls_ = static_cast<std::uint16_t>(cls);
+    }
+    out.line = prev_line_;
+    out.kind = (control & kCtrlWriteback) ? core::RequestKind::Writeback
+                                          : core::RequestKind::Demand;
+    out.cls = cls_;
+    out.warmup = false;
+    out.position = records_++;
+    return true;
+}
+
+void
+BinTraceReader::rewind()
+{
+    closeFile();
+    open();
+}
+
+TraceSource::TraceSource(const std::string &path, bool loop,
+                         unsigned stripe_count, unsigned stripe_index)
+    : reader_(path), loop_(loop), stripe_count_(stripe_count),
+      stripe_index_(stripe_index)
+{
+    ACCORD_ASSERT(stripe_count_ >= 1 && stripe_index_ < stripe_count_,
+                  "bad trace stripe");
+    advance();
+}
+
+void
+TraceSource::advance()
+{
+    has_pending_ = false;
+    for (;;) {
+        Request req;
+        if (!reader_.next(req)) {
+            if (reader_.recordsRead() == 0)
+                fatal("trace has no records");
+            if (!loop_)
+                return;
+            reader_.rewind();
+            global_pos_ = 0;
+            continue;
+        }
+        const bool keep =
+            global_pos_ % stripe_count_ == stripe_index_;
+        ++global_pos_;
+        if (keep) {
+            pending_ = req;
+            pending_.position = emitted_;
+            has_pending_ = true;
+            return;
+        }
+    }
+}
+
+Request
+TraceSource::next()
+{
+    ACCORD_ASSERT(has_pending_, "next() on an exhausted trace source");
+    const Request out = pending_;
+    ++emitted_;
+    advance();
+    return out;
+}
+
+std::uint64_t
+TraceSource::size() const
+{
+    if (loop_)
+        return 0;
+    const std::uint64_t declared = reader_.declaredCount();
+    if (declared == 0)
+        return 0;
+    if (declared <= stripe_index_)
+        return 0;
+    return (declared - stripe_index_ + stripe_count_ - 1)
+        / stripe_count_;
+}
+
+bool
+TraceSource::rewind()
+{
+    reader_.rewind();
+    global_pos_ = 0;
+    emitted_ = 0;
+    advance();
+    return true;
+}
+
+std::string
+TraceSource::describe() const
+{
+    std::string out = "accord.trace replay";
+    if (stripe_count_ > 1) {
+        out += " stripe " + std::to_string(stripe_index_) + "/"
+            + std::to_string(stripe_count_);
+    }
+    if (loop_)
+        out += " (looped)";
+    return out;
+}
+
+} // namespace accord::trace

@@ -55,22 +55,48 @@ WorkloadGen::startRun()
         : static_cast<unsigned>(rng.below(linesPerRegion));
 }
 
-LineAddr
+Request
 WorkloadGen::next()
 {
     const std::uint64_t phys =
         physRegionOf(run_region, params_.salt);
-    const LineAddr line =
-        phys * linesPerRegion + (run_offset % linesPerRegion);
+    Request req;
+    req.line = phys * linesPerRegion + (run_offset % linesPerRegion);
+    req.position = position_++;
     ++run_offset;
     if (--run_left == 0)
         startRun();
-    return line;
+    return req;
+}
+
+bool
+WorkloadGen::rewind()
+{
+    rng = Rng(params_.seed);
+    cold_scan = 0;
+    position_ = 0;
+    startRun();
+    return true;
+}
+
+std::uint64_t
+WorkloadGen::defaultWarmQuota() const
+{
+    return std::max<std::uint64_t>(
+        50'000, params_.footprintLines * params_.warmPasses);
+}
+
+std::string
+WorkloadGen::describe() const
+{
+    return "synthetic hot/cold model ("
+        + std::to_string(params_.footprintLines) + " lines)";
 }
 
 CyclicPairGen::CyclicPairGen(std::uint64_t set_count,
                              unsigned iterations, std::uint64_t seed)
-    : set_count(set_count), iterations(iterations), rng(seed)
+    : set_count(set_count), iterations(iterations), seed_(seed),
+      rng(seed)
 {
     ACCORD_ASSERT(isPow2(set_count), "set count must be pow2");
     ACCORD_ASSERT(iterations >= 1, "need at least one iteration");
@@ -93,38 +119,89 @@ CyclicPairGen::newPair()
     emit_b = false;
 }
 
-LineAddr
+Request
 CyclicPairGen::next()
 {
     if (remaining == 0)
         newPair();
-    const LineAddr line = emit_b ? line_b : line_a;
+    Request req;
+    req.line = emit_b ? line_b : line_a;
+    req.position = position_++;
     emit_b = !emit_b;
     --remaining;
-    return line;
+    return req;
 }
 
-WritebackMixer::WritebackMixer(AccessGenerator &source,
+bool
+CyclicPairGen::rewind()
+{
+    rng = Rng(seed_);
+    position_ = 0;
+    newPair();
+    return true;
+}
+
+std::string
+CyclicPairGen::describe() const
+{
+    return "cyclic conflict pairs (" + std::to_string(set_count)
+        + " sets x " + std::to_string(iterations) + ")";
+}
+
+WritebackMixer::WritebackMixer(TrafficSource &source,
                                double writeback_frac, unsigned lag,
                                std::uint64_t seed)
-    : source(source), wb_frac(writeback_frac), lag(lag), rng(seed)
+    : source(source), wb_frac(writeback_frac), lag(lag), seed_(seed),
+      rng(seed)
 {
     ACCORD_ASSERT(writeback_frac >= 0.0 && writeback_frac < 1.0,
                   "writeback fraction must be in [0,1)");
 }
 
-L4Access
+Request
 WritebackMixer::next()
 {
-    if (pending.size() >= lag) {
-        const LineAddr line = pending.front();
+    Request req;
+    if (pending.size() >= lag
+        || (source.exhausted() && !pending.empty())) {
+        req.line = pending.front();
+        req.kind = core::RequestKind::Writeback;
+        req.position = position_++;
         pending.pop_front();
-        return {line, true};
+        return req;
     }
-    const LineAddr line = source.next();
+    ACCORD_ASSERT(!source.exhausted(),
+                  "next() on an exhausted writeback mixer");
+    const Request demand = source.next();
     if (wb_frac > 0.0 && rng.chance(wb_frac))
-        pending.push_back(line);
-    return {line, false};
+        pending.push_back(demand.line);
+    req.line = demand.line;
+    req.cls = demand.cls;
+    req.position = position_++;
+    return req;
+}
+
+bool
+WritebackMixer::exhausted() const
+{
+    return source.exhausted() && pending.empty();
+}
+
+bool
+WritebackMixer::rewind()
+{
+    if (!source.rewind())
+        return false;
+    rng = Rng(seed_);
+    pending.clear();
+    position_ = 0;
+    return true;
+}
+
+std::string
+WritebackMixer::describe() const
+{
+    return "writeback mixer over " + source.describe();
 }
 
 } // namespace accord::trace

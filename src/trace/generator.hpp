@@ -13,6 +13,10 @@
  * index is hashed to a physical 4KB region, so contiguity within a
  * region survives while region placement is effectively random —
  * exactly the situation a physically indexed DRAM cache sees.
+ *
+ * All generators implement the TrafficSource interface (source.hpp);
+ * they are normally built through the source registry ("synthetic",
+ * "cyclic") rather than constructed directly.
  */
 
 #ifndef ACCORD_TRACE_GENERATOR_HPP
@@ -24,11 +28,20 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "trace/source.hpp"
 
 namespace accord::trace
 {
 
-/** Produces a stream of demand line addresses. */
+/**
+ * Produces a stream of demand line addresses.
+ *
+ * DEPRECATED (removal next PR): the pull-only LineAddr interface
+ * predates TrafficSource and cannot carry request kind, class, or
+ * position.  New code implements TrafficSource; existing generators
+ * already have.  LegacyGeneratorSource adapts a leftover implementation
+ * during the transition.
+ */
 class AccessGenerator
 {
   public:
@@ -36,6 +49,31 @@ class AccessGenerator
 
     /** Next demand line address. */
     virtual LineAddr next() = 0;
+};
+
+/**
+ * Adapter exposing a deprecated AccessGenerator as a TrafficSource
+ * (demand-only, unbounded).  Transitional shim — one PR only.
+ */
+class LegacyGeneratorSource final : public TrafficSource
+{
+  public:
+    explicit LegacyGeneratorSource(AccessGenerator &gen) : gen_(gen) {}
+
+    Request
+    next() override
+    {
+        Request req;
+        req.line = gen_.next();
+        req.position = position_++;
+        return req;
+    }
+
+    std::string describe() const override { return "legacy-generator"; }
+
+  private:
+    AccessGenerator &gen_;
+    std::uint64_t position_ = 0;
 };
 
 /** Physical region space the hashed layout maps into (128 GB / 4KB). */
@@ -69,15 +107,30 @@ struct WorkloadGenParams
     std::uint64_t salt = 0;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Footprint passes of functional warmup this stream wants
+     * (WorkloadSpec::warmPasses; feeds defaultWarmQuota()).
+     */
+    unsigned warmPasses = 6;
 };
 
 /** Hot/cold region-run generator used for all named workloads. */
-class WorkloadGen : public AccessGenerator
+class WorkloadGen : public TrafficSource
 {
   public:
     explicit WorkloadGen(const WorkloadGenParams &params);
 
-    LineAddr next() override;
+    Request next() override;
+    bool rewind() override;
+
+    /**
+     * Auto warmup quota: enough passes over the footprint to reach a
+     * steady-state cache population (at least 50k accesses).
+     */
+    std::uint64_t defaultWarmQuota() const override;
+
+    std::string describe() const override;
 
     const WorkloadGenParams &params() const { return params_; }
 
@@ -90,6 +143,7 @@ class WorkloadGen : public AccessGenerator
     std::uint64_t hot_regions;
     std::uint64_t total_regions;
     std::uint64_t cold_scan = 0;
+    std::uint64_t position_ = 0;
 
     // Current run state.
     std::uint64_t run_region = 0;
@@ -102,7 +156,7 @@ class WorkloadGen : public AccessGenerator
  * map to the same set, accessed as (a, b) repeated N times, then a new
  * conflicting pair, and so on.
  */
-class CyclicPairGen : public AccessGenerator
+class CyclicPairGen : public TrafficSource
 {
   public:
     /**
@@ -113,14 +167,18 @@ class CyclicPairGen : public AccessGenerator
     CyclicPairGen(std::uint64_t set_count, unsigned iterations,
                   std::uint64_t seed);
 
-    LineAddr next() override;
+    Request next() override;
+    bool rewind() override;
+    std::string describe() const override;
 
   private:
     void newPair();
 
     std::uint64_t set_count;
     unsigned iterations;
+    std::uint64_t seed_;
     Rng rng;
+    std::uint64_t position_ = 0;
 
     LineAddr line_a = 0;
     LineAddr line_b = 0;
@@ -139,20 +197,34 @@ struct L4Access
  * Converts a demand stream into the L4 traffic mix by re-emitting a
  * fraction of demand lines as writebacks after a configurable lag
  * (modeling dirty lines leaving the L3 a while after they were used).
+ * Once a bounded upstream runs dry the pending writebacks drain, then
+ * the mixer itself exhausts.
  */
-class WritebackMixer
+class WritebackMixer : public TrafficSource
 {
   public:
-    WritebackMixer(AccessGenerator &source, double writeback_frac,
+    WritebackMixer(TrafficSource &source, double writeback_frac,
                    unsigned lag, std::uint64_t seed);
 
-    L4Access next();
+    Request next() override;
+    bool exhausted() const override;
+    bool bounded() const override { return source.bounded(); }
+    bool rewind() override;
+    std::string describe() const override;
+
+    std::uint64_t
+    defaultWarmQuota() const override
+    {
+        return source.defaultWarmQuota();
+    }
 
   private:
-    AccessGenerator &source;
+    TrafficSource &source;
     double wb_frac;
     unsigned lag;
+    std::uint64_t seed_;
     Rng rng;
+    std::uint64_t position_ = 0;
     std::deque<LineAddr> pending;
 };
 

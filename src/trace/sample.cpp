@@ -1,0 +1,386 @@
+#include "trace/sample.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace accord::trace
+{
+
+namespace
+{
+
+/** Squared L2 distance between a window signature and a centroid. */
+double
+dist2(const float *sig, const double *centroid, unsigned dims)
+{
+    double sum = 0.0;
+    for (unsigned d = 0; d < dims; ++d) {
+        const double diff = static_cast<double>(sig[d]) - centroid[d];
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::string
+SampleParams::toString() const
+{
+    char rate_text[32];
+    std::snprintf(rate_text, sizeof(rate_text), "%g", rate);
+    std::string out;
+    out += "window=" + std::to_string(window);
+    out += ",clusters=" + std::to_string(clusters);
+    out += ",rate=" + std::string(rate_text);
+    out += ",warmup=" + std::to_string(warmup);
+    out += ",prewarm=" + std::to_string(prewarm);
+    out += ",dims=" + std::to_string(dims);
+    out += ",iters=" + std::to_string(iters);
+    out += ",seed=" + std::to_string(seed);
+    return out;
+}
+
+SampleParams
+SampleParams::fromString(const std::string &text)
+{
+    SampleParams params;
+    std::string rest = text;
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string item = rest.substr(0, comma);
+        rest = comma == std::string::npos ? std::string()
+                                          : rest.substr(comma + 1);
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("malformed sample option '%s'", item.c_str());
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        char *end = nullptr;
+        double num = std::strtod(value.c_str(), &end);
+        // Same k/M/G/T suffixes as the CLI and source specs.
+        if (end != value.c_str() && *end != '\0') {
+            switch (std::tolower(static_cast<unsigned char>(*end))) {
+              case 'k': num *= 1ULL << 10; ++end; break;
+              case 'm': num *= 1ULL << 20; ++end; break;
+              case 'g': num *= 1ULL << 30; ++end; break;
+              case 't': num *= 1ULL << 40; ++end; break;
+              default: break;
+            }
+        }
+        if (end == value.c_str() || *end != '\0' || num < 0)
+            fatal("bad sample value '%s' for '%s'", value.c_str(),
+                  key.c_str());
+        if (key == "window")
+            params.window = static_cast<std::uint64_t>(num);
+        else if (key == "clusters")
+            params.clusters = static_cast<unsigned>(num);
+        else if (key == "rate")
+            params.rate = num;
+        else if (key == "warmup")
+            params.warmup = static_cast<std::uint64_t>(num);
+        else if (key == "prewarm")
+            params.prewarm = static_cast<std::uint64_t>(num);
+        else if (key == "dims")
+            params.dims = static_cast<unsigned>(num);
+        else if (key == "iters")
+            params.iters = static_cast<unsigned>(num);
+        else if (key == "seed")
+            params.seed = static_cast<std::uint64_t>(num);
+        else
+            fatal("unknown sample option '%s'", key.c_str());
+    }
+    if (params.window == 0 || params.clusters == 0 || params.dims == 0
+        || params.iters == 0 || params.rate <= 0.0
+        || params.rate > 1.0)
+        fatal("bad sample parameters '%s' (need window/clusters/dims/"
+              "iters > 0 and 0 < rate <= 1)",
+              text.c_str());
+    return params;
+}
+
+SampledSource::SampledSource(std::unique_ptr<TrafficSource> inner,
+                             const SampleParams &params)
+    : inner_(std::move(inner)), params_(params)
+{
+    if (!inner_->bounded())
+        fatal("sampling needs a bounded source (trace without loop=1 "
+              "or synthetic(limit=)); got %s",
+              inner_->describe().c_str());
+    const std::vector<float> signatures = profile();
+    buildPlan(signatures);
+    if (!inner_->rewind())
+        fatal("sampling needs a rewindable source; got %s",
+              inner_->describe().c_str());
+}
+
+std::vector<float>
+SampledSource::profile()
+{
+    const unsigned dims = params_.dims;
+    std::vector<float> signatures;
+    std::vector<std::uint32_t> counts;
+    while (!inner_->exhausted()) {
+        const Request req = inner_->next();
+        const std::uint64_t w = inner_records_ / params_.window;
+        if (w >= counts.size()) {
+            counts.resize(w + 1, 0);
+            signatures.resize((w + 1) * dims, 0.0F);
+        }
+        const std::uint64_t bucket = mix64(regionOf(req.line)) % dims;
+        signatures[w * dims + bucket] += 1.0F;
+        ++counts[w];
+        ++inner_records_;
+    }
+    if (inner_records_ == 0)
+        fatal("sampling: inner source produced no records");
+    window_count_ = counts.size();
+    // L1-normalize so the short tail window compares fairly.
+    for (std::uint64_t w = 0; w < window_count_; ++w) {
+        const float norm = 1.0F / static_cast<float>(counts[w]);
+        for (unsigned d = 0; d < dims; ++d)
+            signatures[w * dims + d] *= norm;
+    }
+    return signatures;
+}
+
+void
+SampledSource::buildPlan(const std::vector<float> &signatures)
+{
+    const unsigned dims = params_.dims;
+    const std::uint64_t windows = window_count_;
+    const std::uint64_t k = std::min<std::uint64_t>(
+        params_.clusters, windows);
+    Rng rng(params_.seed);
+
+    // k-means++ seeding: D^2-weighted draws through the private RNG.
+    std::vector<double> centroids(k * dims, 0.0);
+    std::vector<double> best_d2(
+        windows, std::numeric_limits<double>::infinity());
+    std::uint64_t picked = rng.below(windows);
+    for (std::uint64_t c = 0; c < k; ++c) {
+        if (c > 0) {
+            double total = 0.0;
+            for (std::uint64_t w = 0; w < windows; ++w)
+                total += best_d2[w];
+            if (total > 0.0) {
+                const double r = rng.uniform() * total;
+                double cum = 0.0;
+                picked = windows - 1;
+                for (std::uint64_t w = 0; w < windows; ++w) {
+                    cum += best_d2[w];
+                    if (cum >= r) {
+                        picked = w;
+                        break;
+                    }
+                }
+            } else {
+                picked = rng.below(windows);
+            }
+        }
+        for (unsigned d = 0; d < dims; ++d) {
+            centroids[c * dims + d] = static_cast<double>(
+                signatures[picked * dims + d]);
+        }
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            best_d2[w] = std::min(
+                best_d2[w], dist2(&signatures[w * dims],
+                                  &centroids[c * dims], dims));
+        }
+    }
+
+    // Lloyd iterations; ties break toward the lower cluster index and
+    // empty clusters keep their previous centroid, so the result is a
+    // pure function of (signatures, seed).
+    std::vector<std::uint32_t> assign(windows, 0);
+    std::vector<double> sums(k * dims);
+    std::vector<std::uint64_t> sizes(k);
+    for (unsigned iter = 0; iter < params_.iters; ++iter) {
+        bool changed = false;
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            std::uint32_t best = 0;
+            double best_dist =
+                std::numeric_limits<double>::infinity();
+            for (std::uint64_t c = 0; c < k; ++c) {
+                const double dist = dist2(&signatures[w * dims],
+                                          &centroids[c * dims], dims);
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best = static_cast<std::uint32_t>(c);
+                }
+            }
+            changed = changed || assign[w] != best;
+            assign[w] = best;
+        }
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(sizes.begin(), sizes.end(), 0);
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            ++sizes[assign[w]];
+            for (unsigned d = 0; d < dims; ++d) {
+                sums[assign[w] * dims + d] +=
+                    static_cast<double>(signatures[w * dims + d]);
+            }
+        }
+        for (std::uint64_t c = 0; c < k; ++c) {
+            if (sizes[c] == 0)
+                continue;
+            for (unsigned d = 0; d < dims; ++d) {
+                centroids[c * dims + d] = sums[c * dims + d]
+                    / static_cast<double>(sizes[c]);
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    // Stratified proportional selection: round(rate * W) windows
+    // total, split across clusters by size (largest-remainder), then
+    // spread evenly inside each cluster.  Proportionality is what lets
+    // plain aggregate stats stand in for SimPoint's per-window
+    // weights.
+    const std::uint64_t target = std::min<std::uint64_t>(
+        windows,
+        std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(
+                   params_.rate * static_cast<double>(windows)))));
+    std::vector<std::vector<std::uint64_t>> members(k);
+    for (std::uint64_t w = 0; w < windows; ++w)
+        members[assign[w]].push_back(w);
+    std::vector<std::uint64_t> quota(k, 0);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> remainders;
+    std::uint64_t given = 0;
+    for (std::uint64_t c = 0; c < k; ++c) {
+        const std::uint64_t exact = target * members[c].size();
+        quota[c] = exact / windows;
+        given += quota[c];
+        if (!members[c].empty() && quota[c] < members[c].size())
+            remainders.emplace_back(exact % windows, c);
+    }
+    // Largest remainder first; equal remainders go to the lower
+    // cluster index (sort is stable only with the explicit tiebreak).
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (const auto &[rem, c] : remainders) {
+        (void)rem;
+        if (given >= target)
+            break;
+        ++quota[c];
+        ++given;
+    }
+    // Midpoint spacing ((2i+1)n/2q), not i*n/q: the latter always
+    // starts at a cluster's first member, and with near-stationary
+    // signatures every cluster's first occurrence is early in the
+    // stream, so the whole selection collapses onto the cold-start
+    // ramp.  Midpoints keep each cluster's picks temporally centered.
+    for (std::uint64_t c = 0; c < k; ++c) {
+        const std::uint64_t n = members[c].size();
+        for (std::uint64_t i = 0; i < quota[c]; ++i)
+            selected_.push_back(
+                members[c][(2 * i + 1) * n / (2 * quota[c])]);
+    }
+    std::sort(selected_.begin(), selected_.end());
+
+    // Replay coverage: each run of consecutive selected windows with
+    // its warmup prefix, unioned with the [0, prewarm) span.  Which
+    // replayed records are *measured* is decided per record at replay
+    // time (window membership), so measured windows inside the
+    // prewarm span stay measured.
+    std::vector<Segment> raw;
+    if (params_.prewarm > 0)
+        raw.push_back(
+            {0, std::min(inner_records_, params_.prewarm)});
+    std::size_t i = 0;
+    while (i < selected_.size()) {
+        std::size_t j = i;
+        while (j + 1 < selected_.size()
+               && selected_[j + 1] == selected_[j] + 1)
+            ++j;
+        const std::uint64_t start = selected_[i] * params_.window;
+        Segment seg;
+        seg.from = start - std::min(start, params_.warmup);
+        seg.to = std::min(inner_records_,
+                          (selected_[j] + 1) * params_.window);
+        raw.push_back(seg);
+        i = j + 1;
+    }
+    // raw is sorted by `from` (prewarm starts at 0, runs ascend);
+    // merge overlapping or adjacent intervals.
+    std::sort(raw.begin(), raw.end(),
+              [](const Segment &a, const Segment &b) {
+                  return a.from < b.from;
+              });
+    for (const Segment &seg : raw) {
+        if (!segments_.empty() && seg.from <= segments_.back().to) {
+            segments_.back().to =
+                std::max(segments_.back().to, seg.to);
+        } else {
+            segments_.push_back(seg);
+        }
+    }
+    for (const Segment &seg : segments_)
+        planned_events_ += seg.to - seg.from;
+}
+
+Request
+SampledSource::next()
+{
+    ACCORD_ASSERT(!exhausted(),
+                  "next() on an exhausted sampled source");
+    const Segment &seg = segments_[seg_idx_];
+    while (inner_pos_ < seg.from) {
+        inner_->next();
+        ++inner_pos_;
+    }
+    Request req = inner_->next();
+    const std::uint64_t w = inner_pos_ / params_.window;
+    while (sel_idx_ < selected_.size() && selected_[sel_idx_] < w)
+        ++sel_idx_;
+    req.warmup = !(sel_idx_ < selected_.size()
+                   && selected_[sel_idx_] == w);
+    req.position = emitted_++;
+    ++inner_pos_;
+    if (inner_pos_ >= seg.to)
+        ++seg_idx_;
+    return req;
+}
+
+bool
+SampledSource::exhausted() const
+{
+    return seg_idx_ >= segments_.size();
+}
+
+bool
+SampledSource::rewind()
+{
+    if (!inner_->rewind())
+        return false;
+    seg_idx_ = 0;
+    sel_idx_ = 0;
+    inner_pos_ = 0;
+    emitted_ = 0;
+    return true;
+}
+
+std::string
+SampledSource::describe() const
+{
+    return "sampled " + std::to_string(selected_.size()) + "/"
+        + std::to_string(window_count_) + " windows over "
+        + inner_->describe();
+}
+
+} // namespace accord::trace

@@ -2,12 +2,13 @@
  * @file
  * Recording and replay of L4 access streams.
  *
- * Users with real traces (e.g. post-LLC miss streams captured from a
- * binary-instrumentation tool) can convert them to this format and
- * drive the DRAM cache with them instead of the synthetic models.  The
- * format is a flat binary stream: an 8-byte header ("ACRDTRC1"), then
- * one 9-byte record per access — 8-byte little-endian line address
- * plus a flags byte (bit 0: writeback).
+ * This is the *legacy* fixed-width format: a flat binary stream with
+ * an 8-byte header ("ACRDTRC1"), then one 9-byte record per access —
+ * 8-byte little-endian line address plus a flags byte (bit 0:
+ * writeback).  It stays readable, but new traces should use the
+ * compact accord.trace/1 format (bintrace.hpp, ~2 bytes/record,
+ * streaming decode) produced by tools/convert_trace.py; see
+ * docs/TRACES.md.
  */
 
 #ifndef ACCORD_TRACE_TRACE_FILE_HPP
@@ -79,27 +80,34 @@ class TraceReplay
 };
 
 /**
- * Adapter exposing the demand reads of a TraceReplay as an
- * AccessGenerator (writeback records are skipped), so a recorded
+ * Adapter exposing the demand reads of a TraceReplay as a
+ * TrafficSource (writeback records are skipped), so a recorded
  * trace can drive anything the synthetic generators can.
  */
-class TraceDemandGen : public AccessGenerator
+class TraceDemandGen : public TrafficSource
 {
   public:
     explicit TraceDemandGen(TraceReplay &replay) : replay(replay) {}
 
-    LineAddr
+    Request
     next() override
     {
         for (;;) {
             const L4Access access = replay.next();
-            if (!access.isWriteback)
-                return access.line;
+            if (!access.isWriteback) {
+                Request req;
+                req.line = access.line;
+                req.position = position_++;
+                return req;
+            }
         }
     }
 
+    std::string describe() const override { return "legacy trace"; }
+
   private:
     TraceReplay &replay;
+    std::uint64_t position_ = 0;
 };
 
 } // namespace accord::trace

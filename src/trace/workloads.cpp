@@ -238,6 +238,7 @@ generatorParams(const WorkloadSpec &spec, unsigned core,
     p.hotRunLen = spec.hotRunLen;
     p.coldRunLen = spec.coldRunLen;
     p.coldRandom = spec.coldRandom;
+    p.warmPasses = spec.warmPasses;
 
     // Distinct physical pages per (workload, core).
     std::uint64_t salt = 0xcafef00dULL + core * 0x9e3779b9ULL;

@@ -27,13 +27,20 @@ basicParams()
     return p;
 }
 
+/** Shorthand for the writeback-kind check in the mixer tests. */
+bool
+isWb(const Request &req)
+{
+    return req.kind == core::RequestKind::Writeback;
+}
+
 } // namespace
 
 TEST(WorkloadGen, Deterministic)
 {
     WorkloadGen a(basicParams()), b(basicParams());
     for (int i = 0; i < 1000; ++i)
-        EXPECT_EQ(a.next(), b.next());
+        EXPECT_EQ(a.next().line, b.next().line);
 }
 
 TEST(WorkloadGen, DifferentSeedsDiffer)
@@ -44,7 +51,7 @@ TEST(WorkloadGen, DifferentSeedsDiffer)
     WorkloadGen a(pa), b(pb);
     int equal = 0;
     for (int i = 0; i < 1000; ++i)
-        equal += a.next() == b.next() ? 1 : 0;
+        equal += a.next().line == b.next().line ? 1 : 0;
     EXPECT_LT(equal, 100);
 }
 
@@ -54,11 +61,11 @@ TEST(WorkloadGen, RunsAreSpatiallyContiguous)
     p.hotRunLen = 8;
     p.coldRunLen = 8;
     WorkloadGen gen(p);
-    LineAddr prev = gen.next();
+    LineAddr prev = gen.next().line;
     int contiguous = 0;
     const int trials = 8000;
     for (int i = 0; i < trials; ++i) {
-        const LineAddr line = gen.next();
+        const LineAddr line = gen.next().line;
         contiguous += (regionOf(line) == regionOf(prev)) ? 1 : 0;
         prev = line;
     }
@@ -75,7 +82,7 @@ TEST(WorkloadGen, RunLenOneIsSparse)
     WorkloadGen gen(p);
     std::set<std::uint64_t> regions;
     for (int i = 0; i < 1000; ++i)
-        regions.insert(regionOf(gen.next()));
+        regions.insert(regionOf(gen.next().line));
     EXPECT_GT(regions.size(), 300u);
 }
 
@@ -90,7 +97,7 @@ TEST(WorkloadGen, FootprintIsBounded)
          ++r)
         allowed.insert(physRegionOf(r, p.salt));
     for (int i = 0; i < 20000; ++i)
-        EXPECT_TRUE(allowed.count(regionOf(gen.next())));
+        EXPECT_TRUE(allowed.count(regionOf(gen.next().line)));
 }
 
 TEST(WorkloadGen, HotColdSplitMatchesFraction)
@@ -109,7 +116,7 @@ TEST(WorkloadGen, HotColdSplitMatchesFraction)
     int hot_hits = 0;
     const int trials = 20000;
     for (int i = 0; i < trials; ++i)
-        hot_hits += hot_regions.count(regionOf(gen.next())) ? 1 : 0;
+        hot_hits += hot_regions.count(regionOf(gen.next().line)) ? 1 : 0;
     EXPECT_NEAR(static_cast<double>(hot_hits) / trials, 0.9, 0.03);
 }
 
@@ -127,12 +134,12 @@ TEST(WorkloadGen, ColdScanIsCyclic)
         p.footprintLines / linesPerRegion * 3 / 4;
     std::vector<std::uint64_t> first_pass;
     for (std::uint64_t r = 0; r < cold_regions; ++r) {
-        first_pass.push_back(regionOf(gen.next()));
+        first_pass.push_back(regionOf(gen.next().line));
         for (unsigned i = 1; i < 64; ++i)
             gen.next();
     }
     for (std::uint64_t r = 0; r < cold_regions; ++r) {
-        EXPECT_EQ(regionOf(gen.next()), first_pass[r]);
+        EXPECT_EQ(regionOf(gen.next().line), first_pass[r]);
         for (unsigned i = 1; i < 64; ++i)
             gen.next();
     }
@@ -164,24 +171,24 @@ TEST(PhysRegion, SaltSeparatesStreams)
 TEST(CyclicPair, AlternatesTwoLinesNTimes)
 {
     CyclicPairGen gen(1024, 4, 9);
-    const LineAddr a = gen.next();
-    const LineAddr b = gen.next();
+    const LineAddr a = gen.next().line;
+    const LineAddr b = gen.next().line;
     EXPECT_NE(a, b);
     for (int i = 1; i < 4; ++i) {
-        EXPECT_EQ(gen.next(), a);
-        EXPECT_EQ(gen.next(), b);
+        EXPECT_EQ(gen.next().line, a);
+        EXPECT_EQ(gen.next().line, b);
     }
     // Next pair is a different conflict pair.
-    const LineAddr c = gen.next();
-    EXPECT_TRUE(c != a || gen.next() != b);
+    const LineAddr c = gen.next().line;
+    EXPECT_TRUE(c != a || gen.next().line != b);
 }
 
 TEST(CyclicPair, PairMapsToSameSet)
 {
     CyclicPairGen gen(1024, 2, 11);
     for (int pair = 0; pair < 100; ++pair) {
-        const LineAddr a = gen.next();
-        const LineAddr b = gen.next();
+        const LineAddr a = gen.next().line;
+        const LineAddr b = gen.next().line;
         EXPECT_EQ(a & 1023, b & 1023);
         gen.next();
         gen.next();     // consume the second iteration
@@ -193,7 +200,7 @@ TEST(WritebackMixer, NoWritebacksAtZeroFraction)
     WorkloadGen gen(basicParams());
     WritebackMixer mixer(gen, 0.0, 16, 3);
     for (int i = 0; i < 1000; ++i)
-        EXPECT_FALSE(mixer.next().isWriteback);
+        EXPECT_FALSE(isWb(mixer.next()));
 }
 
 TEST(WritebackMixer, FractionControlsWritebackShare)
@@ -203,7 +210,7 @@ TEST(WritebackMixer, FractionControlsWritebackShare)
     int wb = 0;
     const int trials = 40000;
     for (int i = 0; i < trials; ++i)
-        wb += mixer.next().isWriteback ? 1 : 0;
+        wb += isWb(mixer.next()) ? 1 : 0;
     // Writebacks are re-emissions: share = f/(1+f) of the total.
     EXPECT_NEAR(static_cast<double>(wb) / trials, 0.3 / 1.3, 0.02);
 }
@@ -214,8 +221,8 @@ TEST(WritebackMixer, WritebacksAreRecentDemandLines)
     WritebackMixer mixer(gen, 0.5, 32, 3);
     std::set<LineAddr> demanded;
     for (int i = 0; i < 5000; ++i) {
-        const L4Access access = mixer.next();
-        if (access.isWriteback)
+        const Request access = mixer.next();
+        if (isWb(access))
             EXPECT_TRUE(demanded.count(access.line));
         else
             demanded.insert(access.line);
@@ -230,7 +237,7 @@ TEST(WritebackMixer, LagDelaysWritebacks)
     // fills up.
     int first_wb = -1;
     for (int i = 0; i < 300; ++i) {
-        if (mixer.next().isWriteback) {
+        if (isWb(mixer.next())) {
             first_wb = i;
             break;
         }

@@ -109,9 +109,9 @@ TEST(TraceFile, DemandGenSkipsWritebacks)
     }
     TraceReplay replay(path, true);
     TraceDemandGen gen(replay);
-    EXPECT_EQ(gen.next(), 1u);
-    EXPECT_EQ(gen.next(), 3u);
-    EXPECT_EQ(gen.next(), 1u);      // looped, writeback skipped
+    EXPECT_EQ(gen.next().line, 1u);
+    EXPECT_EQ(gen.next().line, 3u);
+    EXPECT_EQ(gen.next().line, 1u); // looped, writeback skipped
     std::remove(path.c_str());
 }
 

@@ -23,7 +23,8 @@ ALL_RULES = HOT_RULES + DETERMINISM_RULES + METRIC_RULES
 # Virtual dispatch on these bases is the sanctioned extension mechanism
 # (the organization/policy registry); everything else on a hot path
 # must be devirtualized or allowed explicitly.
-VIRTUAL_ALLOWLIST = {"OrgStrategy", "OrgServices", "WayPolicy"}
+VIRTUAL_ALLOWLIST = {"OrgStrategy", "OrgServices", "WayPolicy",
+                     "TrafficSource"}
 
 # Stats structs checked even when no registerMetrics body names their
 # fields (the "deliberately unregistered" class of struct).

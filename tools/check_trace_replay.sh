@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Trace-replay smoke gate: the text->binary converter, the TraceSource
+# replay path, and SimPoint-style sampling must stay deterministic and
+# byte-stable.
+#
+# Four checks:
+#   1. tools/convert_trace.py converts the committed text trace
+#      (tests/data/sample_trace.txt) and bench_trace_replay replays it
+#      sampled; the report must match the committed golden baseline
+#      (tests/baselines/bench_trace_replay.sample.json) at ZERO
+#      tolerance.
+#   2. A second identical run must produce a byte-identical report.
+#   3. A sampled functional sweep (bench_tab06_hitrate with source= and
+#      sample= overrides) must produce identical reports at jobs=1 and
+#      jobs=3: the sampler must not depend on worker-pool scheduling.
+#   4. The gzip converter path round-trips to the same replay report
+#      as the plain path (skipped if the build lacks zlib: the bench
+#      then fails to open the trace, which we detect and report).
+#
+# Usage: tools/check_trace_replay.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$(cd "${1:-$ROOT/build}" && pwd)"
+WORKDIR="$BUILD/trace_replay"
+BASELINE="$ROOT/tests/baselines/bench_trace_replay.sample.json"
+mkdir -p "$WORKDIR"
+
+status=0
+check() {
+    local baseline="$1" out="$2" label="$3"
+    if python3 "$ROOT/tools/compare_reports.py" --rtol 0 --atol 0 \
+        "$baseline" "$out" > /dev/null; then
+        echo "OK   $label"
+    else
+        echo "FAIL $label"
+        status=1
+    fi
+}
+
+# The replay args are tuned to the committed 240-record trace: the
+# stream is tiny, so the windows and the warm span must be too.  The
+# bench runs from the trace's directory so the report's tracefile
+# param is a bare filename, not a host-specific path (the committed
+# baseline must be machine-independent).
+REPLAY_ARGS=(workloads=libq tracefile=sample.trc warm=60
+             scale=4096
+             samplespec="window=16,clusters=4,rate=0.25,warmup=8,prewarm=60")
+
+python3 "$ROOT/tools/convert_trace.py" \
+    "$ROOT/tests/data/sample_trace.txt" -o "$WORKDIR/sample.trc"
+
+(cd "$WORKDIR" && "$BUILD/bench/bench_trace_replay" \
+    "${REPLAY_ARGS[@]}" --json="$WORKDIR/replay.json" > /dev/null)
+check "$BASELINE" "$WORKDIR/replay.json" "sampled replay vs baseline"
+
+(cd "$WORKDIR" && "$BUILD/bench/bench_trace_replay" \
+    "${REPLAY_ARGS[@]}" --json="$WORKDIR/replay2.json" > /dev/null)
+if cmp -s "$WORKDIR/replay.json" "$WORKDIR/replay2.json"; then
+    echo "OK   replay re-run byte-identical"
+else
+    echo "FAIL replay re-run byte-identical"
+    status=1
+fi
+
+# Sampled runs inside the parallel sweep pool: worker scheduling must
+# not leak into the report.
+for jobs in 1 3; do
+    "$BUILD/bench/bench_tab06_hitrate" scale=4096 cores=2 \
+        warm=2000 measure=4000 jobs="$jobs" \
+        source="synthetic(limit=32k)" \
+        sample="window=512,clusters=4,rate=0.1,warmup=128,prewarm=2000" \
+        --json="$WORKDIR/sampled_sweep.j$jobs.json" > /dev/null
+done
+if cmp -s "$WORKDIR/sampled_sweep.j1.json" \
+        "$WORKDIR/sampled_sweep.j3.json"; then
+    echo "OK   sampled sweep jobs=1 == jobs=3"
+else
+    echo "FAIL sampled sweep jobs=1 == jobs=3"
+    status=1
+fi
+
+# Gzip path: same records, same report.  The gzip trace keeps the
+# same basename (in a subdirectory) because the report's canonical
+# spec embeds it.
+mkdir -p "$WORKDIR/gz"
+if python3 "$ROOT/tools/convert_trace.py" \
+    "$ROOT/tests/data/sample_trace.txt" -o "$WORKDIR/gz/sample.trc" \
+    --gzip; then
+    if (cd "$WORKDIR/gz" && "$BUILD/bench/bench_trace_replay" \
+        "${REPLAY_ARGS[@]}" --json="$WORKDIR/replay_gz.json" \
+        > /dev/null 2>&1); then
+        check "$BASELINE" "$WORKDIR/replay_gz.json" \
+            "gzip trace replay vs baseline"
+    else
+        echo "SKIP gzip replay (build lacks zlib)"
+    fi
+fi
+
+exit $status

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Convert text access traces to the accord.trace/1 binary format.
+
+Input is a ChampSim/gem5-style text trace: one record per line,
+whitespace-separated::
+
+    R 0x7f21a3c040          # demand read at a byte address
+    W 0x7f21a3c080          # writeback
+    R 0x40021480 3          # optional request class (uint16)
+    0x40021500              # bare address: read, class unchanged
+
+The kind token accepts ``R``/``RD``/``READ``/``L``/``0`` for reads and
+``W``/``WR``/``WRITE``/``WB``/``S``/``1`` for writebacks (case
+insensitive).  Addresses parse with ``int(tok, 0)`` — ``0x`` prefix for
+hex, otherwise decimal.  ``#`` starts a comment; blank lines are
+skipped.  Byte addresses become line addresses via ``--line-bytes``
+(default 64, the simulator's cache-line size).
+
+Output is the compact varint-delta binary described in docs/TRACES.md
+(magic ``ACRDBT01``), optionally gzip-wrapped with ``--gzip`` — the
+simulator's reader auto-detects the wrapper.  ``--stats`` prints a
+summary of the converted stream.  ``--self-test`` round-trips a
+synthetic stream through the encoder and a reference decoder and exits
+nonzero on any mismatch (registered as a ctest).
+
+Usage:
+    tools/convert_trace.py input.txt -o out.trc [--gzip] [--stats]
+    tools/convert_trace.py --self-test
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import gzip
+import io
+import struct
+import sys
+
+MAGIC = b"ACRDBT01"
+HEADER_BYTES = 17  # magic + flags byte + u64 record count
+CTRL_WRITEBACK = 0x01
+CTRL_CLASS_FOLLOWS = 0x02
+
+READ_TOKENS = {"r", "rd", "read", "l", "0"}
+WRITE_TOKENS = {"w", "wr", "write", "wb", "s", "1"}
+
+
+def zigzag_encode(value):
+    """Map a signed delta to the unsigned varint domain."""
+    return ((value << 1) ^ (value >> 63)) & 0xFFFFFFFFFFFFFFFF
+
+
+def zigzag_decode(value):
+    """Inverse of zigzag_encode."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def put_varint(out, value):
+    """Append one LEB128-style varint."""
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+class Encoder:
+    """Streams accord.trace/1 records into a binary file object."""
+
+    def __init__(self, fileobj, patch_count=True):
+        self.fileobj = fileobj
+        self.patch_count = patch_count
+        self.records = 0
+        self.prev_line = 0
+        self.prev_cls = 0
+        self.buffer = bytearray()
+        fileobj.write(MAGIC + b"\x00" + struct.pack("<Q", 0))
+
+    def append(self, line, writeback, cls):
+        control = CTRL_WRITEBACK if writeback else 0
+        if cls != self.prev_cls:
+            control |= CTRL_CLASS_FOLLOWS
+        self.buffer.append(control)
+        delta = (line - self.prev_line) & 0xFFFFFFFFFFFFFFFF
+        if delta >= 1 << 63:
+            delta -= 1 << 64
+        put_varint(self.buffer, zigzag_encode(delta))
+        if control & CTRL_CLASS_FOLLOWS:
+            put_varint(self.buffer, cls)
+        self.prev_line = line
+        self.prev_cls = cls
+        self.records += 1
+        if len(self.buffer) >= 64 * 1024:
+            self.fileobj.write(self.buffer)
+            self.buffer.clear()
+
+    def finish(self):
+        """Flush and, for plain output, patch the header count."""
+        self.fileobj.write(self.buffer)
+        self.buffer.clear()
+        if self.patch_count:
+            self.fileobj.seek(len(MAGIC) + 1)
+            self.fileobj.write(struct.pack("<Q", self.records))
+
+
+def decode(blob):
+    """Reference decoder: (declared_count, [(line, writeback, cls)])."""
+    if blob[: len(MAGIC)] != MAGIC:
+        raise ValueError("bad magic")
+    if blob[len(MAGIC)] != 0:
+        raise ValueError("nonzero flags byte")
+    declared = struct.unpack_from("<Q", blob, len(MAGIC) + 1)[0]
+    pos = HEADER_BYTES
+    records = []
+    line = 0
+    cls = 0
+
+    def varint():
+        nonlocal pos
+        shift = 0
+        value = 0
+        while True:
+            if pos >= len(blob):
+                raise ValueError("truncated varint")
+            byte = blob[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                return value
+            shift += 7
+
+    while pos < len(blob):
+        control = blob[pos]
+        pos += 1
+        if control & ~(CTRL_WRITEBACK | CTRL_CLASS_FOLLOWS):
+            raise ValueError("reserved control bits set")
+        line = (line + zigzag_decode(varint())) & 0xFFFFFFFFFFFFFFFF
+        if control & CTRL_CLASS_FOLLOWS:
+            cls = varint()
+        records.append((line, bool(control & CTRL_WRITEBACK), cls))
+    return declared, records
+
+
+def parse_line(text, lineno):
+    """One text record -> (line_is_present, addr, writeback, cls|None)."""
+    body = text.split("#", 1)[0].strip()
+    if not body:
+        return None
+    tokens = body.split()
+    writeback = False
+    cls = None
+    if len(tokens) == 1:
+        addr_tok = tokens[0]
+    else:
+        kind = tokens[0].lower()
+        if kind in READ_TOKENS:
+            writeback = False
+        elif kind in WRITE_TOKENS:
+            writeback = True
+        else:
+            raise ValueError(
+                f"line {lineno}: unknown kind token '{tokens[0]}'")
+        addr_tok = tokens[1]
+        if len(tokens) >= 3:
+            cls = int(tokens[2], 0)
+            if not 0 <= cls <= 0xFFFF:
+                raise ValueError(
+                    f"line {lineno}: class {cls} out of uint16 range")
+        if len(tokens) > 3:
+            raise ValueError(f"line {lineno}: trailing tokens")
+    try:
+        addr = int(addr_tok, 0)
+    except ValueError:
+        raise ValueError(
+            f"line {lineno}: bad address '{addr_tok}'") from None
+    if addr < 0:
+        raise ValueError(f"line {lineno}: negative address")
+    return addr, writeback, cls
+
+
+def convert(args):
+    """Text -> binary; returns the stats dict."""
+    opener = gzip.open if args.input.endswith(".gz") else open
+    stats = {
+        "records": 0,
+        "writebacks": 0,
+        "lines": set(),
+    }
+    sink = open(args.output, "wb")
+    try:
+        if args.gzip:
+            # Header count stays 0 (unknown): the gzip stream cannot
+            # be patched after the fact, matching the C++ writer.
+            zsink = gzip.GzipFile(
+                fileobj=sink, mode="wb", compresslevel=6, mtime=0)
+            enc = Encoder(zsink, patch_count=False)
+        else:
+            enc = Encoder(sink)
+        cls = 0
+        with opener(args.input, "rt") as src:
+            for lineno, text in enumerate(src, start=1):
+                parsed = parse_line(text, lineno)
+                if parsed is None:
+                    continue
+                addr, writeback, new_cls = parsed
+                if new_cls is not None:
+                    cls = new_cls
+                line = addr // args.line_bytes
+                enc.append(line, writeback, cls)
+                stats["records"] += 1
+                stats["writebacks"] += int(writeback)
+                stats["lines"].add(line)
+        enc.finish()
+        if args.gzip:
+            zsink.close()
+    finally:
+        sink.close()
+    if stats["records"] == 0:
+        sys.exit(f"error: no records in '{args.input}'")
+    return stats
+
+
+def print_stats(args, stats):
+    import os
+
+    size = os.path.getsize(args.output)
+    records = stats["records"]
+    print(f"records:        {records}")
+    print(f"writeback frac: {stats['writebacks'] / records:.4f}")
+    print(f"distinct lines: {len(stats['lines'])}")
+    print(f"output bytes:   {size}"
+          f" ({(size - HEADER_BYTES) / records:.2f}/record)")
+
+
+def self_test():
+    """Encoder vs. reference decoder round trip; exits on mismatch."""
+    cases = [
+        # (line, writeback, cls): deltas forward/backward/zero, class
+        # switches, and full-width addresses.
+        (0, False, 0),
+        (1, False, 0),
+        (1, True, 0),
+        (100, False, 7),
+        (3, False, 7),
+        (2**58, True, 65535),
+        (2**58, False, 0),
+        (5, False, 0),
+    ]
+    buf = io.BytesIO()
+    enc = Encoder(buf)
+    for line, writeback, cls in cases:
+        enc.append(line, writeback, cls)
+    enc.finish()
+    declared, decoded = decode(buf.getvalue())
+    assert declared == len(cases), (declared, len(cases))
+    assert decoded == cases, decoded
+
+    # Text parsing: kinds, classes, comments, bare addresses.
+    assert parse_line("R 0x80 # demand", 1) == (0x80, False, None)
+    assert parse_line("w 128 3", 2) == (128, True, 3)
+    assert parse_line("0x1000", 3) == (0x1000, False, None)
+    assert parse_line("   # comment only", 4) is None
+    for bad in ("X 0x80", "R zzz", "R 0x80 70000", "R 0x80 1 junk"):
+        try:
+            parse_line(bad, 5)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError(f"accepted bad line {bad!r}")
+
+    # Truncation and corruption must raise, not mis-decode.
+    blob = buf.getvalue()
+    for bad_blob in (b"WRONGMAG" + blob[8:], blob[:-1],
+                     blob[:HEADER_BYTES] + b"\xfc\x00"):
+        try:
+            decode(bad_blob)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("decoded corrupt input")
+    print("convert_trace.py self-test: OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="convert text access traces to accord.trace/1")
+    parser.add_argument("input", nargs="?",
+                        help="text trace (.gz auto-detected)")
+    parser.add_argument("-o", "--output",
+                        help="output path (default: input + .trc)")
+    parser.add_argument("--line-bytes", type=int, default=64,
+                        help="cache-line size dividing byte addresses "
+                             "(default 64)")
+    parser.add_argument("--gzip", action="store_true",
+                        help="gzip-wrap the output stream")
+    parser.add_argument("--stats", action="store_true",
+                        help="print a summary of the converted stream")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in round-trip checks")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if args.input is None:
+        parser.error("input trace required (or --self-test)")
+    if args.line_bytes <= 0:
+        parser.error("--line-bytes must be positive")
+    if args.output is None:
+        args.output = args.input + ".trc"
+    stats = convert(args)
+    if args.stats:
+        print_stats(args, stats)
+
+
+if __name__ == "__main__":
+    main()
