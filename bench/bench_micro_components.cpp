@@ -11,6 +11,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "common/trace_event/tracer.hpp"
 #include "core/factory.hpp"
 #include "core/ganged.hpp"
@@ -156,6 +157,47 @@ BM_TraceHookOn(benchmark::State &state)
 }
 
 void
+BM_TelemetryOff(benchmark::State &state)
+{
+    // The flight-recorder contract mirrors the trace hooks: with
+    // telemetry= unset every heartbeat site in System reduces to one
+    // branch on a null recorder pointer, so a disabled recorder must
+    // cost nothing measurable in the simulator's hot loops.
+    telemetry::FlightRecorder *recorder = nullptr;
+    benchmark::DoNotOptimize(recorder);
+    std::uint64_t position = 0;
+    for (auto _ : state) {
+        ++position;
+        if (recorder != nullptr && recorder->due(position))
+            recorder->heartbeat(telemetry::HeartbeatSample{});
+        benchmark::DoNotOptimize(position);
+    }
+}
+
+void
+BM_TelemetryOn(benchmark::State &state)
+{
+    // Worst-case recorder cost: interval=1 fires a heartbeat (host
+    // sampling, JSON encode, flush) on every unit, into a bit-bucket.
+    // Real runs amortize this over thousands of units per heartbeat.
+    telemetry::TelemetryConfig config;
+    config.path = "/dev/null";
+    config.interval = 1;
+    telemetry::FlightRecorder::Header header;
+    header.spec = "bench micro";
+    telemetry::FlightRecorder recorder(config, header);
+    telemetry::HeartbeatSample sample;
+    sample.phase = "timed";
+    for (auto _ : state) {
+        ++sample.position;
+        ++sample.reads;
+        if (recorder.due(sample.position))
+            recorder.heartbeat(sample);
+        benchmark::DoNotOptimize(sample.position);
+    }
+}
+
+void
 BM_EventQueue(benchmark::State &state)
 {
     EventQueue eq;
@@ -204,6 +246,8 @@ BENCHMARK(BM_TagStoreFindWay)->Arg(2)->Arg(8);
 BENCHMARK(BM_Rng);
 BENCHMARK(BM_TraceHookOff);
 BENCHMARK(BM_TraceHookOn);
+BENCHMARK(BM_TelemetryOff);
+BENCHMARK(BM_TelemetryOn);
 BENCHMARK(BM_EventQueue);
 BENCHMARK(BM_EventQueueBurst);
 BENCHMARK(BM_EventQueueFarFuture);

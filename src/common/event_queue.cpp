@@ -61,6 +61,8 @@ EventQueue::scheduleAt(Cycle when, Callback callback)
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(now_));
     ++pending_;
+    if (pending_ > occupancy_peak_)
+        occupancy_peak_ = pending_;
     if (when - now_ < kBuckets) {
         Node *node = allocNode();
         node->when = when;
@@ -68,6 +70,7 @@ EventQueue::scheduleAt(Cycle when, Callback callback)
         appendBucketed(node);
         return;
     }
+    ++overflow_spills_;
     overflow_.push_back(
         Overflow{when, overflow_seq_++, std::move(callback)});
     std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});

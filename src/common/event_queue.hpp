@@ -210,6 +210,22 @@ class EventQueue
     /** Total events executed (for perf sanity checks). */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * High-water mark of simultaneously pending events over the
+     * queue's lifetime.  A health gauge for telemetry heartbeats and
+     * SystemMetrics: a runaway occupancy means a component is
+     * scheduling faster than the run retires.
+     */
+    std::uint64_t occupancyPeak() const { return occupancy_peak_; }
+
+    /**
+     * Events that landed beyond the calendar horizon and spilled to
+     * the overflow heap.  Expected to stay near zero (every DRAM/NVM
+     * timing constant is far below kBuckets); growth signals a timing
+     * model scheduling pathologically far ahead.
+     */
+    std::uint64_t overflowSpills() const { return overflow_spills_; }
+
     /** Calendar horizon: near events bucket, farther ones overflow. */
     static constexpr std::size_t kBuckets = 4096;
 
@@ -284,6 +300,8 @@ class EventQueue
     Cycle now_ = 0;
     std::uint64_t overflow_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t occupancy_peak_ = 0;
+    std::uint64_t overflow_spills_ = 0;
 };
 
 } // namespace accord

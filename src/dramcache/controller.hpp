@@ -144,6 +144,9 @@ class DramCacheController : private OrgServices
     dram::DramSystem &hbm() { return hbm_; }
     const dram::DramSystem &hbm() const { return hbm_; }
 
+    /** Transaction arena, for telemetry pool-usage snapshots. */
+    const BlockPool &txnPool() const { return *txn_pool_; }
+
     /** True when no timed transactions are in flight. */
     bool quiesced() const { return in_flight == 0; }
 

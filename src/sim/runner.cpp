@@ -52,6 +52,13 @@ applyCliOverrides(SystemConfig &config, const Config &cli)
     config.traceCap = cli.getUint("trace_cap", config.traceCap);
     config.trafficSpec = cli.getString("source", config.trafficSpec);
     config.sampleSpec = cli.getString("sample", config.sampleSpec);
+    // Telemetry is pure observability: like jobs= and trace= it never
+    // changes simulation results, so canonicalConfigSpec excludes it
+    // and reports stay byte-identical with it on or off.
+    config.telemetryPath =
+        cli.getString("telemetry", config.telemetryPath);
+    config.telemetryInterval =
+        cli.getUint("telemetry_interval", config.telemetryInterval);
 }
 
 std::string

@@ -2,9 +2,11 @@
 
 #include <exception>
 #include <future>
+#include <memory>
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "sim/pool.hpp"
 #include "sim/runner.hpp"
 
@@ -37,6 +39,19 @@ perRunTracePath(const std::string &path, std::size_t index)
     return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
+std::string
+perRunTelemetryPath(const std::string &path, std::size_t index)
+{
+    static constexpr const char kExt[] = ".telemetry.jsonl";
+    static constexpr std::size_t kExtLen = sizeof(kExt) - 1;
+    if (path.size() > kExtLen
+        && path.compare(path.size() - kExtLen, kExtLen, kExt) == 0) {
+        return path.substr(0, path.size() - kExtLen) + ".run"
+            + std::to_string(index) + kExt;
+    }
+    return perRunTracePath(path, index);
+}
+
 std::vector<SystemMetrics>
 SweepRunner::runConfigs(const std::vector<SystemConfig> &configs) const
 {
@@ -46,6 +61,16 @@ SweepRunner::runConfigs(const std::vector<SystemConfig> &configs) const
     std::vector<std::string> logs(configs.size());
     std::vector<std::future<void>> futures;
     futures.reserve(configs.size());
+
+    // Telemetry-enabled batches get a live done/in-flight/ETA line on
+    // stderr (display only — results and streams are unaffected).
+    bool any_telemetry = false;
+    for (const SystemConfig &config : configs)
+        any_telemetry = any_telemetry || !config.telemetryPath.empty();
+    std::unique_ptr<telemetry::SweepProgress> progress;
+    if (any_telemetry && configs.size() > 1)
+        progress =
+            std::make_unique<telemetry::SweepProgress>(configs.size());
 
     ThreadPool pool(jobs_);
     for (std::size_t i = 0; i < configs.size(); ++i) {
@@ -57,7 +82,16 @@ SweepRunner::runConfigs(const std::vector<SystemConfig> &configs) const
             if (!config.tracePath.empty() && configs.size() > 1)
                 config.tracePath =
                     perRunTracePath(config.tracePath, i);
+            // Same for telemetry streams: one flight-recorder file
+            // per run, named by batch position.
+            if (!config.telemetryPath.empty() && configs.size() > 1)
+                config.telemetryPath =
+                    perRunTelemetryPath(config.telemetryPath, i);
+            if (progress)
+                progress->onRunStart();
             results[i] = runSystem(config);
+            if (progress)
+                progress->onRunFinish();
             logs[i] = capture.take();
         }));
     }
@@ -73,6 +107,9 @@ SweepRunner::runConfigs(const std::vector<SystemConfig> &configs) const
                 first_error = std::current_exception();
         }
     }
+    // Terminate the progress line before replaying captured logs so
+    // buffered warn()/inform() output starts on a fresh line.
+    progress.reset();
     for (const std::string &text : logs)
         emitCapturedLog(text);
     if (first_error)

@@ -37,6 +37,17 @@ unsigned resolveJobs(unsigned jobs);
  */
 std::string perRunTracePath(const std::string &path, std::size_t index);
 
+/**
+ * Per-run telemetry stream path for run `index` of a batch.  The
+ * conventional "<base>.telemetry.jsonl" spelling keeps its compound
+ * extension intact ("out.telemetry.jsonl" -> "out.run3.telemetry.jsonl")
+ * so every stream of a sweep stays recognizable by suffix; any other
+ * spelling falls back to the perRunTracePath rule.  Like trace paths,
+ * derived from the batch position — never from scheduling.
+ */
+std::string perRunTelemetryPath(const std::string &path,
+                                std::size_t index);
+
 /** Timed baseline+config sweep results in bench table layout. */
 struct SweepResult
 {

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/trace_event/tracer.hpp"
+#include "sim/runner.hpp"
 #include "trace/sample.hpp"
 
 namespace accord::sim
@@ -112,6 +113,31 @@ System::System(const SystemConfig &config) : config_(config)
         hierarchies[core]->registerMetrics(
             registry_, "core" + std::to_string(core));
     }
+
+    if (!config_.telemetryPath.empty()) {
+        telemetry::TelemetryConfig telem;
+        telem.path = config_.telemetryPath;
+        telem.interval = config_.telemetryInterval;
+        telemetry::FlightRecorder::Header header;
+        header.spec = canonicalConfigSpec(config_);
+        header.units = config_.runTimed ? "reads" : "accesses";
+        // Expected final position (warm accesses plus the measured
+        // phase), for the auto cadence and the (volatile) ETA field.
+        // warm=0 means source-chosen auto quotas, so the warm leg is
+        // an estimate then; 0 total = run-to-exhaustion, no ETA.
+        std::uint64_t warm_units =
+            config_.warmPerCore * config_.numCores;
+        if (config_.warmPerCore == 0) {
+            for (const auto &source : sources)
+                warm_units += source->defaultWarmQuota();
+        }
+        header.totalUnits = warm_units
+            + (config_.runTimed
+                   ? config_.timedPerCore * config_.numCores
+                   : config_.measurePerCore * config_.numCores);
+        recorder_ = std::make_unique<telemetry::FlightRecorder>(
+            telem, header);
+    }
 }
 
 System::~System() = default;
@@ -119,6 +145,10 @@ System::~System() = default;
 void
 System::warm()
 {
+    if (recorder_)
+        recorder_->profiler().enterPhase("warm", telemetry_units_,
+                                         eq.now());
+
     // Auto quota: each source knows how much functional warmup makes
     // sense for it (enough footprint passes for the synthetic models,
     // none for bounded streams that warmup would consume).
@@ -147,12 +177,17 @@ System::warm()
                 remaining[core] = 0;
             any = any || remaining[core] > 0;
         }
+        maybeHeartbeat("warm", telemetry_units_);
     }
 }
 
 void
 System::measureFunctional()
 {
+    if (recorder_)
+        recorder_->profiler().enterPhase("measure", telemetry_units_,
+                                         eq.now());
+
     // A bounded source with measure=0 runs to exhaustion (trace and
     // sampled replays); an unbounded one needs an explicit budget.
     std::vector<std::uint64_t> remaining(config_.numCores);
@@ -188,6 +223,7 @@ System::measureFunctional()
             any = any || remaining[core] > 0;
         }
         maybeSampleEpoch(done);
+        maybeHeartbeat("measure", telemetry_units_);
     }
 }
 
@@ -198,6 +234,37 @@ System::maybeSampleEpoch(std::uint64_t position)
         return;
     epoch_series_.record(position, registry_.snapshot());
     next_epoch_at_ = position + config_.epochEvery;
+}
+
+void
+System::maybeHeartbeat(const char *phase, std::uint64_t position)
+{
+    if (!recorder_ || !recorder_->due(position))
+        return;
+    recorder_->heartbeat(telemetrySample(phase, position));
+}
+
+telemetry::HeartbeatSample
+System::telemetrySample(const char *phase, std::uint64_t position) const
+{
+    // Every field is simulator state at a cadence-defined position —
+    // deterministic, so the canonical stream is byte-identical across
+    // re-runs and jobs= values.  The recorder adds the volatile host
+    // fields itself, under the partitioned "host" object.
+    telemetry::HeartbeatSample s;
+    s.phase = phase;
+    s.position = position;
+    s.cycles = eq.now();
+    const Ratio &reads = cache_->stats().readHits;
+    s.reads = reads.total();
+    s.readHits = reads.hits();
+    s.eqPending = eq.size();
+    s.eqExecuted = eq.executed();
+    s.eqOccupancyPeak = eq.occupancyPeak();
+    s.eqOverflowSpills = eq.overflowSpills();
+    s.poolLive = cache_->txnPool().live();
+    s.poolBlockBytes = cache_->txnPool().blockSize();
+    return s;
 }
 
 bool
@@ -215,6 +282,7 @@ System::funcAccess(unsigned core)
             cache_->warmRead(req.line);
         if (req.warmup)
             cache_->endStatsExclusion();
+        ++telemetry_units_;
         return !req.warmup;
     }
 
@@ -232,12 +300,16 @@ System::funcAccess(unsigned core)
         else
             cache_->warmRead(txn.line);
     }
+    ++telemetry_units_;
     return true;
 }
 
 void
 System::runTimed()
 {
+    if (recorder_)
+        recorder_->profiler().enterPhase("timed", telemetry_units_,
+                                         eq.now());
     cores.clear();
     for (unsigned core = 0; core < config_.numCores; ++core) {
         CoreParams params;
@@ -260,12 +332,28 @@ System::runTimed()
         }
         return true;
     };
+    // Telemetry-only tick work is throttled to every 256 executed
+    // events so an enabled recorder stays within its <=1% overhead
+    // contract.  The stride keys on eq.executed() — deterministic
+    // simulation state — so heartbeat positions are still identical
+    // for any jobs= count; epoch sampling keeps its exact historical
+    // per-tick cadence (report stability).
+    constexpr std::uint64_t kTelemetryTickStride = 256;
     const auto tick = [this, &all_done] {
-        if (config_.epochEvery > 0) {
+        const bool epoch_tick = config_.epochEvery > 0;
+        const bool telem_tick = recorder_ != nullptr
+            && eq.executed() % kTelemetryTickStride == 0;
+        if (epoch_tick || telem_tick) {
             std::uint64_t completed = 0;
             for (const auto &core : cores)
                 completed += core->completedReads();
-            maybeSampleEpoch(completed);
+            if (epoch_tick)
+                maybeSampleEpoch(completed);
+            // Timed heartbeats key on retired demand reads — the
+            // tick runs between events, so the first stride boundary
+            // past the cadence is a deterministic event boundary.
+            if (telem_tick)
+                maybeHeartbeat("timed", telemetry_units_ + completed);
         }
         return all_done();
     };
@@ -273,6 +361,12 @@ System::runTimed()
     if (!all_done())
         panic("timed phase deadlocked: event queue drained with "
               "unfinished cores");
+    if (recorder_) {
+        std::uint64_t completed = 0;
+        for (const auto &core : cores)
+            completed += core->completedReads();
+        telemetry_units_ += completed;
+    }
 }
 
 SystemMetrics
@@ -293,6 +387,8 @@ System::run()
     SystemMetrics m;
     m.eventsExecuted = eq.executed();
     m.accessesExecuted = accesses_executed_;
+    m.eqOccupancyPeak = eq.occupancyPeak();
+    m.eqOverflowSpills = eq.overflowSpills();
     m.cacheStats = cache_->stats();
     m.hitRate = m.cacheStats.readHits.rate();
     m.wpAccuracy = m.cacheStats.wayPrediction.rate();
@@ -317,6 +413,15 @@ System::run()
     if (tracer_) {
         m.traceJson = tracer_->toJson();
         tracer_->writeFile(m.traceJson);
+    }
+
+    if (recorder_) {
+        // Per-epoch hit-attribution rides on the existing epoch
+        // series when epoch= sampling was on; a run shorter than one
+        // heartbeat interval still gets exactly this final record.
+        recorder_->finish(telemetrySample("end", telemetry_units_),
+                          epoch_series_,
+                          {"l4.lookup.hits", "l4.lookup.total"});
     }
     return m;
 }

@@ -21,6 +21,7 @@
 #include "cache/hierarchy.hpp"
 #include "common/event_queue.hpp"
 #include "common/metrics/registry.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "core/factory.hpp"
 #include "dramcache/controller.hpp"
 #include "nvm/nvm_system.hpp"
@@ -137,6 +138,20 @@ struct SystemConfig
      */
     std::uint64_t traceCap = 0;
 
+    /**
+     * Flight-recorder telemetry stream path ("" = telemetry off).
+     * Appends one accord.telemetry/1 JSONL heartbeat every
+     * telemetryInterval progress units (functional accesses, or
+     * retired demand reads on timed runs) — deterministic cadence, so
+     * the canonical fields are byte-identical across re-runs and
+     * jobs= values.  Like jobs= and trace=, telemetry never changes
+     * simulation results and stays out of canonicalConfigSpec.
+     */
+    std::string telemetryPath;
+
+    /** Heartbeat cadence in progress units (0 = recorder default). */
+    std::uint64_t telemetryInterval = 0;
+
     std::uint64_t seed = 1;
 
     /** Scaled cache capacity in bytes. */
@@ -177,6 +192,27 @@ struct SystemMetrics
     // accord-lint: allow(metric-unregistered) see above: host-side
     // denominator only, kept out of canonical reports on purpose
     std::uint64_t accessesExecuted = 0;
+
+    /**
+     * EventQueue occupancy high-water mark over the run (peak
+     * simultaneously pending events; 0 for functional-only runs).
+     * The same EventQueue counter telemetry heartbeats sample, so
+     * mid-run and end-of-run views share one source of truth; kept
+     * out of the registry like eventsExecuted so canonical run
+     * reports keep their baseline key set.
+     */
+    // accord-lint: allow(metric-unregistered) see above: engine-health
+    // gauge, kept out of canonical reports on purpose
+    std::uint64_t eqOccupancyPeak = 0;
+
+    /**
+     * Events that spilled past the EventQueue's calendar horizon into
+     * the overflow heap (see EventQueue::overflowSpills).  Same
+     * source feeds the telemetry heartbeats.
+     */
+    // accord-lint: allow(metric-unregistered) see above: engine-health
+    // gauge, kept out of canonical reports on purpose
+    std::uint64_t eqOverflowSpills = 0;
 
     dramcache::DramCacheStats cacheStats;
     dram::DeviceStats hbmStats;
@@ -233,11 +269,26 @@ class System
     /** Record an epoch sample if `position` crossed the next epoch. */
     void maybeSampleEpoch(std::uint64_t position);
 
+    /** Emit a telemetry heartbeat if `position` crossed the cadence. */
+    void maybeHeartbeat(const char *phase, std::uint64_t position);
+
+    /** Snapshot the canonical heartbeat gauges at `position`. */
+    telemetry::HeartbeatSample
+    telemetrySample(const char *phase, std::uint64_t position) const;
+
     SystemConfig config_;
     EventQueue eq;
     MetricRegistry registry_;
     MetricSeries epoch_series_;
     std::uint64_t next_epoch_at_ = 0;
+    std::unique_ptr<telemetry::FlightRecorder> recorder_;
+
+    /**
+     * Telemetry progress units consumed so far (warm + measured
+     * accesses; timed completed reads are added as the tick observes
+     * them).  Advanced only on deterministic simulation progress.
+     */
+    std::uint64_t telemetry_units_ = 0;
     std::unique_ptr<trace_event::Tracer> tracer_;
     std::unique_ptr<nvm::NvmSystem> nvm;
     std::unique_ptr<dramcache::DramCacheController> cache_;

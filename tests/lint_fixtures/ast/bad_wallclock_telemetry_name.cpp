@@ -1,0 +1,23 @@
+// Analyzer fixture: telemetry-sounding code OUTSIDE
+// src/common/telemetry/ gets no wallclock pass.  The exemption is
+// keyed on the path, never on naming, so a "telemetry helper" that
+// grows elsewhere in the tree still has to justify its clock reads.
+// expect: wallclock
+
+#include <chrono>
+
+namespace fixture
+{
+
+struct TelemetryHelper
+{
+    double telemetryElapsed() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now()
+                   - std::chrono::steady_clock::time_point{})
+            .count();
+    }
+};
+
+} // namespace fixture

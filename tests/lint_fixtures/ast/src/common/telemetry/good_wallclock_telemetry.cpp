@@ -1,0 +1,20 @@
+// Analyzer fixture: the telemetry path exemption.  This file sits
+// under src/common/telemetry/ (mirrored inside the fixture tree), the
+// one module whose purpose IS host-resource profiling, so a bare
+// wall-clock read needs no allow comment here (rules.py
+// TELEMETRY_EXEMPT_RULES, path-matched like the rng.hpp exemption).
+// expect-clean
+
+#include <chrono>
+
+namespace fixture
+{
+
+double hostElapsed(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace fixture

@@ -13,11 +13,22 @@ from model import (ALWAYS_CHECKED_STRUCTS, Finding, OP_RULE,
 # bans obviously cannot apply inside it.
 RNG_EXEMPT_RULES = {"wallclock", "rand", "random-device", "std-engine"}
 
+# src/common/telemetry/ is the flight recorder: host-resource
+# profiling (wall time, RSS, ETA) is its whole purpose, and every
+# wall-derived value it emits stays in the stream's declared volatile
+# partition.  Only the wallclock rule is exempt there -- by PATH, so a
+# telemetry-sounding file elsewhere gets no pass.
+TELEMETRY_EXEMPT_RULES = {"wallclock"}
+
 _HOT_OP_KINDS = ("alloc", "std-function", "string", "virtual-call")
 
 
 def _is_rng_impl(path):
     return path.replace("\\", "/").endswith("/rng.hpp")
+
+
+def _is_telemetry_impl(path):
+    return "src/common/telemetry/" in path.replace("\\", "/")
 
 
 def evaluate(model, hot_scope=None, det_scope=None, metric_scope=None):
@@ -100,6 +111,8 @@ def _determinism_findings(model, scope):
         if suppressed or not scope(file):
             continue
         if kind in RNG_EXEMPT_RULES and _is_rng_impl(file):
+            continue
+        if kind in TELEMETRY_EXEMPT_RULES and _is_telemetry_impl(file):
             continue
         findings.append(Finding(OP_RULE[kind], file, ctx, detail, line))
 

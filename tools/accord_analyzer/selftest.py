@@ -22,8 +22,11 @@ import suppress
 
 def run(fixture_dir, out=print):
     """Analyze every fixture; returns the number of failing fixtures."""
+    # rglob: path-scoped exemptions (e.g. the telemetry wallclock
+    # pass) need fixtures living at their real repo-relative paths,
+    # so fixtures may sit in subdirectories mirroring the tree.
     fixture_dir = pathlib.Path(fixture_dir)
-    files = sorted(p for p in fixture_dir.glob("*")
+    files = sorted(p for p in fixture_dir.rglob("*")
                    if p.suffix in (".hpp", ".cpp"))
     if not files:
         out(f"self-test: no fixtures found under {fixture_dir}")
