@@ -68,8 +68,12 @@ runTimed(const std::string &workload, const std::string &name,
 
 /**
  * Record one finished run into the report: its canonical config spec,
- * its final metric snapshot, and (when epoch= sampling was on) its
- * epoch time-series.
+ * its final metric snapshot, the resident-state footprint (volatile
+ * host partition), and (when epoch= sampling was on) its epoch
+ * time-series.  residentStateBytes is deterministic — resident pages
+ * are a pure function of the access stream — so recording it keeps
+ * reports byte-identical across jobs= values; wall-clock or RSS host
+ * values must stay out of this shared path for the same reason.
  */
 inline void
 recordRun(report::RunReport &report, const std::string &key,
@@ -77,6 +81,9 @@ recordRun(report::RunReport &report, const std::string &key,
 {
     report.setRunSpec(key, sim::canonicalConfigSpec(config));
     report.addRunMetrics(key, m.finalMetrics);
+    report.addRunHostValue(
+        key, "resident_state_bytes",
+        static_cast<double>(m.residentStateBytes));
     if (!m.epochs.empty())
         report.addRunSeries(key, m.epochs);
 }

@@ -17,6 +17,11 @@
  *           (telemetry-enabled cost; "timed" is the telemetry-off
  *           control, so timed/telem bounds the recorder overhead —
  *           the telemetry_overhead_frac run value records the ratio)
+ *   paged   timed run with the storage backend forced paged
+ *           (state_backend=paged at bench scale, where auto picks
+ *           dense — so timed/paged bounds the paged read path's
+ *           indirection cost; the paged_overhead_frac run value
+ *           records the ratio)
  *
  * Each mode runs `reps=` times (default 3) and the report records the
  * best rep, so transient host noise cannot fake a regression.  The
@@ -54,14 +59,16 @@ struct Mode
     bool traced;
     bool replay;
     bool telemetry;
+    bool paged;
 };
 
 constexpr Mode kModes[] = {
-    {"warm", false, false, false, false},
-    {"timed", true, false, false, false},
-    {"traced", true, true, false, false},
-    {"replay", false, false, true, false},
-    {"telem", true, false, false, true},
+    {"warm", false, false, false, false, false},
+    {"timed", true, false, false, false, false},
+    {"traced", true, true, false, false, false},
+    {"replay", false, false, true, false, false},
+    {"telem", true, false, false, true, false},
+    {"paged", true, false, false, false, true},
 };
 
 /**
@@ -146,6 +153,7 @@ main(int argc, char **argv)
 
     double timed_best_rps = 0.0;
     double telem_best_rps = 0.0;
+    double paged_best_rps = 0.0;
 
     for (const Mode &mode : kModes) {
         sim::SystemConfig config =
@@ -173,6 +181,12 @@ main(int argc, char **argv)
             config.measurePerCore = 0;
             config.trafficSpec =
                 "trace(file=" + trace_path + ",loop=0,stripe=1)";
+        }
+        if (mode.paged) {
+            // Force the paged storage backend at bench scale (where
+            // auto picks dense): times the paged read path's page
+            // indirection against the dense "timed" control.
+            config.stateBackend = dramcache::StateBackend::Paged;
         }
 
         Rep best;
@@ -216,6 +230,8 @@ main(int argc, char **argv)
             timed_best_rps = best.readsPerSec();
         if (mode.telemetry)
             telem_best_rps = best.readsPerSec();
+        if (mode.paged)
+            paged_best_rps = best.readsPerSec();
     }
 
     // Informational (not gated — the name avoids the *_per_sec_best
@@ -227,6 +243,16 @@ main(int argc, char **argv)
         rep.report().addRunValue(
             key, "telemetry_overhead_frac",
             1.0 - telem_best_rps / timed_best_rps);
+    }
+
+    // Same shape for the storage layer: fraction of timed throughput
+    // lost with the paged backend forced (informational; the paged
+    // mode's own reads_per_sec_best is the gated floor).
+    if (timed_best_rps > 0.0 && paged_best_rps > 0.0) {
+        const std::string key = workload + "/paged";
+        rep.report().addRunValue(
+            key, "paged_overhead_frac",
+            1.0 - paged_best_rps / timed_best_rps);
     }
 
     std::remove(trace_path.c_str());

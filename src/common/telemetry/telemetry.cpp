@@ -120,7 +120,8 @@ addSampleFields(Line &line, const HeartbeatSample &sample)
         .field("eq_occupancy_peak", sample.eqOccupancyPeak)
         .field("eq_overflow_spills", sample.eqOverflowSpills)
         .field("pool_live", sample.poolLive)
-        .field("pool_block_bytes", sample.poolBlockBytes);
+        .field("pool_block_bytes", sample.poolBlockBytes)
+        .field("state_bytes", sample.stateBytes);
 }
 
 } // namespace

@@ -106,6 +106,14 @@ struct HeartbeatSample
     /** Transaction BlockPool arena usage. */
     std::uint64_t poolLive = 0;
     std::uint64_t poolBlockBytes = 0;
+
+    /**
+     * Host bytes backing per-set cache state (tag/flag columns, DCP
+     * pages, predictor tables) at this heartbeat.  Deterministic —
+     * resident pages are a pure function of the access stream — so it
+     * lives with the canonical gauges, not under "host".
+     */
+    std::uint64_t stateBytes = 0;
 };
 
 /** Resident set size in kB from /proc/self/statm (0 if unreadable). */

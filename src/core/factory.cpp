@@ -109,6 +109,7 @@ makePolicy(const std::string &full_spec, const CacheGeometry &geom,
     GangedParams ganged;
     ganged.ritEntries = options.gwsEntries;
     ganged.rltEntries = options.gwsEntries;
+    ganged.storage = options.storage;
 
     if (spec == "rand")
         return std::make_unique<UnbiasedPolicy>(geom, options.seed);
@@ -133,10 +134,12 @@ makePolicy(const std::string &full_spec, const CacheGeometry &geom,
         return std::make_unique<GangedPolicy>(std::move(base), ganged);
     }
     if (spec == "mru")
-        return std::make_unique<MruPolicy>(geom, options.seed);
+        return std::make_unique<MruPolicy>(geom, options.seed,
+                                           options.storage);
     if (spec == "ptag")
         return std::make_unique<PartialTagPolicy>(
-            geom, options.partialTagBits, options.seed);
+            geom, options.partialTagBits, options.seed,
+            options.storage);
     if (spec == "perfect")
         return std::make_unique<PerfectPolicy>(geom, options.seed);
 

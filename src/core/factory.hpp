@@ -11,11 +11,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/paged_table.hpp"
 #include "core/way_policy.hpp"
 
 namespace accord::core
@@ -86,6 +88,16 @@ struct PolicyOptions
 
     /** RNG seed for the policy's private stream. */
     std::uint64_t seed = 42;
+
+    /**
+     * Table backend for stateful policies (MRU, partial tags, GWS):
+     * an explicit mode forces it, nullopt resolves per table by size.
+     * Deliberately NOT part of toString()/fromString() — the backend
+     * never changes simulation results, only the host footprint, so
+     * canonical policy specs (and every committed baseline embedding
+     * them) stay byte-identical across backends.
+     */
+    std::optional<StorageMode> storage;
 
     /**
      * Canonical one-line rendering, e.g.

@@ -8,103 +8,123 @@
 namespace accord::core
 {
 
-RegionTable::RegionTable(unsigned entries) : slots(entries)
+RegionTable::RegionTable(unsigned entries,
+                         std::optional<StorageMode> storage)
 {
     ACCORD_ASSERT(entries > 0, "region table needs entries");
+    const StorageMode mode =
+        storage.value_or(autoStorageMode(entries));
+    regions.reset(entries, mode, 0);
+    last_use.reset(entries, mode, 0);
+    ways_.reset(entries, mode, 0);
+    valid_.reset(entries, mode, 0);
 }
 
-RegionTable::Slot *
-RegionTable::find(std::uint64_t region)
+int
+RegionTable::find(std::uint64_t region) const
 {
-    for (Slot &slot : slots) {
-        if (slot.valid && slot.region == region)
-            return &slot;
+    for (std::uint64_t i = 0; i < regions.size(); ++i) {
+        if (valid_.read(i) && regions.read(i) == region)
+            return static_cast<int>(i);
     }
-    return nullptr;
+    return -1;
 }
 
 std::optional<unsigned>
 RegionTable::lookup(std::uint64_t region)
 {
-    if (Slot *slot = find(region)) {
-        slot->lastUse = ++use_clock;
-        return slot->way;
-    }
-    return std::nullopt;
+    const int slot = find(region);
+    if (slot < 0)
+        return std::nullopt;
+    last_use.write(static_cast<std::uint64_t>(slot), ++use_clock);
+    return ways_.read(static_cast<std::uint64_t>(slot));
 }
 
 void
 RegionTable::insert(std::uint64_t region, unsigned way)
 {
-    if (Slot *slot = find(region)) {
-        slot->way = way;
-        slot->lastUse = ++use_clock;
+    const int hit = find(region);
+    if (hit >= 0) {
+        const auto slot = static_cast<std::uint64_t>(hit);
+        ways_.write(slot, static_cast<std::uint8_t>(way));
+        last_use.write(slot, ++use_clock);
         return;
     }
-    Slot *victim = &slots[0];
-    for (Slot &slot : slots) {
-        if (!slot.valid) {
-            victim = &slot;
+    std::uint64_t victim = 0;
+    for (std::uint64_t i = 0; i < regions.size(); ++i) {
+        if (!valid_.read(i)) {
+            victim = i;
             break;
         }
-        if (slot.lastUse < victim->lastUse)
-            victim = &slot;
+        if (last_use.read(i) < last_use.read(victim))
+            victim = i;
     }
-    victim->valid = true;
-    victim->region = region;
-    victim->way = way;
-    victim->lastUse = ++use_clock;
+    valid_.write(victim, 1);
+    regions.write(victim, region);
+    ways_.write(victim, static_cast<std::uint8_t>(way));
+    last_use.write(victim, ++use_clock);
 }
 
 void
 RegionTable::invalidate(std::uint64_t region)
 {
-    if (Slot *slot = find(region))
-        slot->valid = false;
+    const int slot = find(region);
+    if (slot >= 0)
+        valid_.write(static_cast<std::uint64_t>(slot), 0);
 }
 
 unsigned
 RegionTable::occupancy() const
 {
     unsigned count = 0;
-    for (const Slot &slot : slots)
-        count += slot.valid ? 1 : 0;
+    for (std::uint64_t i = 0; i < regions.size(); ++i)
+        count += valid_.read(i) ? 1 : 0;
     return count;
+}
+
+std::uint64_t
+RegionTable::residentStateBytes() const
+{
+    return regions.residentBytes() + last_use.residentBytes()
+        + ways_.residentBytes() + valid_.residentBytes();
 }
 
 void
 RegionTable::audit(InvariantAuditor &auditor, const char *label,
                    unsigned maxWays, unsigned maxEntries) const
 {
-    if (slots.size() > maxEntries) {
+    if (regions.size() > maxEntries) {
         auditor.fail("gws-table-bound",
-                     "%s holds %zu slots, configured bound is %u",
-                     label, slots.size(), maxEntries);
+                     "%s holds %llu slots, configured bound is %u",
+                     label,
+                     static_cast<unsigned long long>(regions.size()),
+                     maxEntries);
     }
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-        const Slot &slot = slots[i];
-        if (!slot.valid)
+    for (std::uint64_t i = 0; i < regions.size(); ++i) {
+        if (!valid_.at(i))
             continue;
-        if (slot.way >= maxWays) {
+        if (ways_.at(i) >= maxWays) {
             auditor.fail("gws-way-range",
-                         "%s slot %zu: way %u out of range (ways=%u)",
-                         label, i, slot.way, maxWays);
+                         "%s slot %llu: way %u out of range (ways=%u)",
+                         label, static_cast<unsigned long long>(i),
+                         ways_.at(i), maxWays);
         }
-        if (slot.lastUse > use_clock) {
+        if (last_use.at(i) > use_clock) {
             auditor.fail("gws-lru-clock",
-                         "%s slot %zu: stamp %llu ahead of clock %llu",
-                         label, i,
-                         static_cast<unsigned long long>(slot.lastUse),
+                         "%s slot %llu: stamp %llu ahead of clock %llu",
+                         label, static_cast<unsigned long long>(i),
+                         static_cast<unsigned long long>(last_use.at(i)),
                          static_cast<unsigned long long>(use_clock));
         }
-        for (std::size_t j = i + 1; j < slots.size(); ++j) {
-            if (slots[j].valid && slots[j].region == slot.region) {
+        for (std::uint64_t j = i + 1; j < regions.size(); ++j) {
+            if (valid_.at(j) && regions.at(j) == regions.at(i)) {
                 auditor.fail("gws-dup-region",
-                             "%s slots %zu and %zu both map region "
+                             "%s slots %llu and %llu both map region "
                              "%llx",
-                             label, i, j,
+                             label, static_cast<unsigned long long>(i),
+                             static_cast<unsigned long long>(j),
                              static_cast<unsigned long long>(
-                                 slot.region));
+                                 regions.at(i)));
             }
         }
     }
@@ -113,7 +133,8 @@ RegionTable::audit(InvariantAuditor &auditor, const char *label,
 GangedPolicy::GangedPolicy(std::unique_ptr<WayPolicy> base,
                            const GangedParams &params)
     : WayPolicy(base->geometry()), base_(std::move(base)), params(params),
-      rit(params.ritEntries), rlt(params.rltEntries)
+      rit(params.ritEntries, params.storage),
+      rlt(params.rltEntries, params.storage)
 {
     // Lines of one 4KB region must share their tag so the ganged way is
     // always inside the base policy's candidate set; this holds as long
@@ -182,6 +203,13 @@ GangedPolicy::storageBits() const
         params.regionTagBits + 1 /* valid */ + way_bits;
     return (params.ritEntries + params.rltEntries) * per_entry
         + base_->storageBits();
+}
+
+std::uint64_t
+GangedPolicy::residentStateBytes() const
+{
+    return rit.residentStateBytes() + rlt.residentStateBytes()
+        + base_->residentStateBytes();
 }
 
 std::string

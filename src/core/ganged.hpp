@@ -19,8 +19,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <vector>
 
+#include "common/paged_table.hpp"
 #include "core/way_policy.hpp"
 
 namespace accord::core
@@ -30,12 +30,16 @@ namespace accord::core
  * Small fully-associative LRU table mapping region id -> way.
  *
  * Models the paper's RIT and RLT; entries() is small (64) so a linear
- * scan is both faithful to the hardware and fast.
+ * scan is both faithful to the hardware and fast.  Slot state lives
+ * in struct-of-arrays columns on the shared storage layer; at these
+ * sizes autoStorageMode() always picks the dense backend.
  */
 class RegionTable
 {
   public:
-    explicit RegionTable(unsigned entries);
+    explicit RegionTable(unsigned entries,
+                         std::optional<StorageMode> storage
+                         = std::nullopt);
 
     /** Way recorded for the region, if tracked; refreshes LRU. */
     std::optional<unsigned> lookup(std::uint64_t region);
@@ -47,7 +51,7 @@ class RegionTable
     void invalidate(std::uint64_t region);
 
     unsigned entries() const
-        { return static_cast<unsigned>(slots.size()); }
+        { return static_cast<unsigned>(regions.size()); }
 
     /** Valid entries (for tests). */
     unsigned occupancy() const;
@@ -61,18 +65,18 @@ class RegionTable
     void audit(InvariantAuditor &auditor, const char *label,
                unsigned maxWays, unsigned maxEntries) const;
 
+    /** Host bytes currently backing the table's columns. */
+    std::uint64_t residentStateBytes() const;
+
   private:
-    struct Slot
-    {
-        std::uint64_t region = 0;
-        std::uint64_t lastUse = 0;
-        unsigned way = 0;
-        bool valid = false;
-    };
+    /** Slot index holding `region`, or -1. */
+    int find(std::uint64_t region) const;
 
-    Slot *find(std::uint64_t region);
-
-    std::vector<Slot> slots;
+    // Struct-of-arrays slot state (shared storage layer).
+    PagedColumn<std::uint64_t> regions;
+    PagedColumn<std::uint64_t> last_use;
+    PagedColumn<std::uint8_t> ways_;
+    PagedColumn<std::uint8_t> valid_;
     std::uint64_t use_clock = 0;
 };
 
@@ -84,6 +88,9 @@ struct GangedParams
 
     /** Region tag bits assumed for the storage estimate (paper: 19). */
     unsigned regionTagBits = 19;
+
+    /** Table backend; nullopt resolves per table by size. */
+    std::optional<StorageMode> storage;
 };
 
 /** Ganged Way-Steering decorator over a base policy. */
@@ -100,6 +107,7 @@ class GangedPolicy : public WayPolicy
     void onMiss(const LineRef &ref) override;
     void onInstall(const LineRef &ref, unsigned way) override;
     std::uint64_t storageBits() const override;
+    std::uint64_t residentStateBytes() const override;
     std::string name() const override;
     void audit(InvariantAuditor &auditor) const override;
     void registerMetrics(MetricRegistry &registry,

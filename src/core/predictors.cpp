@@ -7,15 +7,18 @@
 namespace accord::core
 {
 
-MruPolicy::MruPolicy(const CacheGeometry &geom, std::uint64_t seed)
-    : WayPolicy(geom), mru(geom.sets, 0), rng(seed)
+MruPolicy::MruPolicy(const CacheGeometry &geom, std::uint64_t seed,
+                     TableStorage storage)
+    : WayPolicy(geom),
+      mru(geom.sets, storage.value_or(autoStorageMode(geom.sets)), 0),
+      rng(seed)
 {
 }
 
 unsigned
 MruPolicy::predict(const LineRef &ref)
 {
-    return mru[ref.set];
+    return mru.read(ref.set);
 }
 
 unsigned
@@ -28,7 +31,7 @@ void
 MruPolicy::onHit(const LineRef &ref, unsigned way)
 {
     ACCORD_ASSERT(way < geom_.ways, "onHit way %u out of range", way);
-    mru[ref.set] = static_cast<std::uint8_t>(way);
+    mru.write(ref.set, static_cast<std::uint8_t>(way));
 }
 
 void
@@ -36,7 +39,7 @@ MruPolicy::onInstall(const LineRef &ref, unsigned way)
 {
     ACCORD_ASSERT(way < geom_.ways, "onInstall way %u out of range",
                   way);
-    mru[ref.set] = static_cast<std::uint8_t>(way);
+    mru.write(ref.set, static_cast<std::uint8_t>(way));
 }
 
 std::uint64_t
@@ -47,23 +50,37 @@ MruPolicy::storageBits() const
     return geom_.sets * way_bits;
 }
 
+std::uint64_t
+MruPolicy::residentStateBytes() const
+{
+    return mru.residentBytes();
+}
+
 void
 MruPolicy::audit(InvariantAuditor &auditor) const
 {
-    for (std::uint64_t set = 0; set < geom_.sets; ++set) {
-        if (mru[set] >= geom_.ways) {
+    // Never-written pages read as way 0, which is always in range, so
+    // the sweep can skip them wholesale.
+    for (std::uint64_t set = mru.nextResidentSlot(0); set < geom_.sets;
+         set = mru.nextResidentSlot(set + 1)) {
+        if (mru.at(set) >= geom_.ways) {
             auditor.fail("mru-way-range",
                          "set %llu: mru way %u out of range (ways=%u)",
-                         static_cast<unsigned long long>(set), mru[set],
-                         geom_.ways);
+                         static_cast<unsigned long long>(set),
+                         mru.at(set), geom_.ways);
         }
     }
 }
 
 PartialTagPolicy::PartialTagPolicy(const CacheGeometry &geom,
-                                   unsigned tag_bits, std::uint64_t seed)
+                                   unsigned tag_bits, std::uint64_t seed,
+                                   TableStorage storage)
     : WayPolicy(geom), tag_bits(tag_bits),
-      tags(geom.lines(), 0), valid(geom.lines(), 0), rng(seed)
+      tags(geom.lines(),
+           storage.value_or(autoStorageMode(geom.lines())), 0),
+      valid(geom.lines(),
+            storage.value_or(autoStorageMode(geom.lines())), 0),
+      rng(seed)
 {
     ACCORD_ASSERT(tag_bits >= 1 && tag_bits <= 8,
                   "partial tags of 1..8 bits supported");
@@ -83,7 +100,7 @@ PartialTagPolicy::predict(const LineRef &ref)
     const std::uint8_t partial = partialOf(ref);
     const std::uint64_t base = ref.set * geom_.ways;
     for (unsigned way = 0; way < geom_.ways; ++way) {
-        if (valid[base + way] && tags[base + way] == partial)
+        if (valid.read(base + way) && tags.read(base + way) == partial)
             return way;
     }
     // No partial match: the line is almost certainly absent; probe
@@ -103,8 +120,8 @@ PartialTagPolicy::onInstall(const LineRef &ref, unsigned way)
     ACCORD_ASSERT(way < geom_.ways, "onInstall way %u out of range",
                   way);
     const std::uint64_t index = ref.set * geom_.ways + way;
-    tags[index] = partialOf(ref);
-    valid[index] = 1;
+    tags.write(index, partialOf(ref));
+    valid.write(index, 1);
 }
 
 std::uint64_t
@@ -113,21 +130,31 @@ PartialTagPolicy::storageBits() const
     return geom_.lines() * tag_bits;
 }
 
+std::uint64_t
+PartialTagPolicy::residentStateBytes() const
+{
+    return tags.residentBytes() + valid.residentBytes();
+}
+
 void
 PartialTagPolicy::audit(InvariantAuditor &auditor) const
 {
-    for (std::uint64_t i = 0; i < geom_.lines(); ++i) {
-        if (valid[i] > 1) {
+    // Never-written slots read invalid and violate nothing; skip
+    // whole non-resident pages.
+    for (std::uint64_t i = valid.nextResidentSlot(0);
+         i < geom_.lines(); i = valid.nextResidentSlot(i + 1)) {
+        if (valid.at(i) > 1) {
             auditor.fail("ptag-valid-flag",
                          "slot %llu: valid flag %u is not boolean",
-                         static_cast<unsigned long long>(i), valid[i]);
+                         static_cast<unsigned long long>(i),
+                         valid.at(i));
         }
-        if (valid[i] && (tags[i] & ~tag_mask) != 0) {
+        if (valid.at(i) && (tags.at(i) & ~tag_mask) != 0) {
             auditor.fail("ptag-tag-range",
                          "slot %llu: partial tag %02x exceeds %u-bit "
                          "mask",
-                         static_cast<unsigned long long>(i), tags[i],
-                         tag_bits);
+                         static_cast<unsigned long long>(i),
+                         tags.at(i), tag_bits);
         }
     }
 }

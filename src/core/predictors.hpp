@@ -14,30 +14,40 @@
 #define ACCORD_CORE_PREDICTORS_HPP
 
 #include <functional>
-#include <vector>
+#include <optional>
 
+#include "common/paged_table.hpp"
 #include "common/rng.hpp"
 #include "core/way_policy.hpp"
 
 namespace accord::core
 {
 
+/**
+ * Storage mode for a predictor table: an explicit mode forces it
+ * (the `state_backend=` knob), nullopt resolves per table by size
+ * (autoStorageMode), keeping bench-scale tables dense.
+ */
+using TableStorage = std::optional<StorageMode>;
+
 /** MRU way prediction: one most-recently-used way id per set. */
 class MruPolicy : public WayPolicy
 {
   public:
-    MruPolicy(const CacheGeometry &geom, std::uint64_t seed);
+    MruPolicy(const CacheGeometry &geom, std::uint64_t seed,
+              TableStorage storage = std::nullopt);
 
     unsigned predict(const LineRef &ref) override;
     unsigned install(const LineRef &ref) override;
     void onHit(const LineRef &ref, unsigned way) override;
     void onInstall(const LineRef &ref, unsigned way) override;
     std::uint64_t storageBits() const override;
+    std::uint64_t residentStateBytes() const override;
     std::string name() const override { return "mru"; }
     void audit(InvariantAuditor &auditor) const override;
 
   private:
-    std::vector<std::uint8_t> mru;  // [set]
+    PagedColumn<std::uint8_t> mru;  // [set]
     Rng rng;
 };
 
@@ -50,12 +60,14 @@ class PartialTagPolicy : public WayPolicy
 {
   public:
     PartialTagPolicy(const CacheGeometry &geom, unsigned tag_bits,
-                     std::uint64_t seed);
+                     std::uint64_t seed,
+                     TableStorage storage = std::nullopt);
 
     unsigned predict(const LineRef &ref) override;
     unsigned install(const LineRef &ref) override;
     void onInstall(const LineRef &ref, unsigned way) override;
     std::uint64_t storageBits() const override;
+    std::uint64_t residentStateBytes() const override;
     std::string name() const override { return "ptag"; }
     void audit(InvariantAuditor &auditor) const override;
 
@@ -64,8 +76,8 @@ class PartialTagPolicy : public WayPolicy
 
     unsigned tag_bits;
     std::uint8_t tag_mask;
-    std::vector<std::uint8_t> tags;     // [set * ways + way]
-    std::vector<std::uint8_t> valid;    // [set * ways + way]
+    PagedColumn<std::uint8_t> tags;     // [set * ways + way]
+    PagedColumn<std::uint8_t> valid;    // [set * ways + way]
     Rng rng;
 };
 

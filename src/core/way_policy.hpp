@@ -107,6 +107,14 @@ class WayPolicy
     virtual std::uint64_t storageBits() const { return 0; }
 
     /**
+     * Host bytes currently backing the policy's own tables (modeled
+     * SRAM state, not the simulated array).  Stateless policies cost
+     * nothing; table-based ones report their resident columns so the
+     * footprint gauges cover predictor state too.
+     */
+    virtual std::uint64_t residentStateBytes() const { return 0; }
+
+    /**
      * Record violations of policy-internal invariants (table bounds,
      * stored way ids, ...) into the auditor.  Stateless policies have
      * nothing to check; stateful ones (GWS, MRU, partial tags)

@@ -12,6 +12,11 @@ auditTagStoreRange(const TagStore &tags, InvariantAuditor &auditor,
     const core::CacheGeometry &geom = tags.geometry();
     std::uint64_t valid_count = 0;
     for (std::uint64_t set = firstSet; set < lastSet; ++set) {
+        // Sets whose slots sit entirely on never-written pages read
+        // all-invalid, which violates nothing — skip them so paged
+        // gigascale sweeps cost resident pages, not geometry.
+        if (!tags.setPossiblyOccupied(set))
+            continue;
         for (unsigned way = 0; way < geom.ways; ++way) {
             if (!tags.valid(set, way)) {
                 if (tags.dirty(set, way)) {
@@ -61,6 +66,8 @@ auditPlacementRange(const TagStore &tags, const core::WayPolicy &policy,
 {
     const core::CacheGeometry &geom = tags.geometry();
     for (std::uint64_t set = firstSet; set < lastSet; ++set) {
+        if (!tags.setPossiblyOccupied(set))
+            continue;
         for (unsigned way = 0; way < geom.ways; ++way) {
             if (!tags.valid(set, way))
                 continue;
@@ -126,6 +133,8 @@ auditDcpForward(const DcpDirectory &dcp, const TagStore &tags,
 {
     const core::CacheGeometry &geom = tags.geometry();
     for (std::uint64_t set = firstSet; set < lastSet; ++set) {
+        if (!tags.setPossiblyOccupied(set))
+            continue;
         for (unsigned way = 0; way < geom.ways; ++way) {
             if (!tags.valid(set, way))
                 continue;
@@ -150,7 +159,7 @@ auditCaSlotRange(const TagStore &tags, const DcpDirectory &dcp,
 {
     const std::uint64_t slots = tags.geometry().sets;
     for (std::uint64_t slot = firstSlot; slot < lastSlot; ++slot) {
-        if (!tags.valid(slot, 0))
+        if (!tags.setPossiblyOccupied(slot) || !tags.valid(slot, 0))
             continue;
         const LineAddr line = tags.tag(slot, 0);
         const std::uint64_t primary = line & (slots - 1);

@@ -93,7 +93,8 @@ DramCacheController::DramCacheController(
       geom(org_factory_->geometry(this->params)),
       policy_(std::move(policy)), eq(eq), nvm(nvm),
       hbm_(fitTiming(timing, params.capacityBytes), eq),
-      layout(geom, hbm_.params(), params.layout), tags(geom),
+      layout(geom, hbm_.params(), params.layout),
+      tags(geom, params.stateBackend),
       audit_countdown(params.auditInterval)
 {
     // The plan core owns the probe bound: any organization a factory

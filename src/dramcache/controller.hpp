@@ -147,6 +147,20 @@ class DramCacheController : private OrgServices
     /** Transaction arena, for telemetry pool-usage snapshots. */
     const BlockPool &txnPool() const { return *txn_pool_; }
 
+    /**
+     * Host bytes currently backing per-set cache state: the tag/flag
+     * columns, the DCP directory pages, and (when attached) the way
+     * policy's own tables.  Feeds the resident-state telemetry gauge
+     * and the gigascale footprint budget.
+     */
+    std::uint64_t
+    residentStateBytes() const
+    {
+        return tags.residentStateBytes() + dcp.residentBytes()
+            + org_->residentStateBytes()
+            + (policy_ ? policy_->residentStateBytes() : 0);
+    }
+
     /** True when no timed transactions are in flight. */
     bool quiesced() const { return in_flight == 0; }
 

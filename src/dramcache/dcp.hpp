@@ -12,19 +12,26 @@
 #ifndef ACCORD_DRAMCACHE_DCP_HPP
 #define ACCORD_DRAMCACHE_DCP_HPP
 
-#include <algorithm>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/paged_table.hpp"
 #include "common/types.hpp"
 
 namespace accord::dramcache
 {
 
-/** line -> resident-way directory for writeback routing. */
+/**
+ * line -> resident-way directory for writeback routing.
+ *
+ * Backed by the sparse paged map of the storage layer: line addresses
+ * span the whole PCM address space, so entries live in lazily
+ * materialized fixed-size pages rather than a per-key hash table.
+ * Iteration order is deterministic by construction (pages are ordered
+ * by key), so entries() needs no post-sort quarantine.
+ */
 class DcpDirectory
 {
   public:
@@ -32,47 +39,30 @@ class DcpDirectory
     std::optional<unsigned>
     lookup(LineAddr line) const
     {
-        const auto it = map.find(line);
-        if (it == map.end())
-            return std::nullopt;
-        return it->second;
+        return map.lookup(line);
     }
 
     /** Record that `line` now resides in `way`. */
-    void
-    record(LineAddr line, unsigned way)
-    {
-        map[line] = static_cast<std::uint8_t>(way);
-    }
+    void record(LineAddr line, unsigned way) { map.record(line, way); }
 
     /** The cache evicted `line`. */
     void erase(LineAddr line) { map.erase(line); }
 
-    std::size_t size() const { return map.size(); }
+    std::size_t size() const
+        { return static_cast<std::size_t>(map.size()); }
 
-    /**
-     * All (line, way) entries, sorted by line address.  This is the
-     * only way directory contents escape the hash table, so hash
-     * layout can never reach stats, logs, or audit reports.
-     */
+    /** All (line, way) entries, sorted by line address. */
     std::vector<std::pair<LineAddr, unsigned>>
     entries() const
     {
-        std::vector<std::pair<LineAddr, unsigned>> out;
-        out.reserve(map.size());
-        // Hash-order iteration is safe here: entries are sorted below
-        // before they become visible to any caller, so the AST-grade
-        // unordered-iteration rule stays silent without an allow.
-        for (const auto &entry : map)
-            out.emplace_back(entry.first, entry.second);
-        std::sort(out.begin(), out.end());
-        return out;
+        return map.entries();
     }
 
+    /** Host bytes currently backing directory pages. */
+    std::uint64_t residentBytes() const { return map.residentBytes(); }
+
   private:
-    // The hot lookup/record path keeps the hash map; iteration order
-    // is quarantined behind the sorting entries() accessor above.
-    std::unordered_map<LineAddr, std::uint8_t> map;
+    SparsePagedMap map;
 };
 
 } // namespace accord::dramcache

@@ -1,6 +1,7 @@
 #include "dramcache/enums.hpp"
 
 #include "common/log.hpp"
+#include "common/paged_table.hpp"
 
 namespace accord::dramcache
 {
@@ -50,6 +51,17 @@ toToken(LayoutMode layout)
     fatal("unknown LayoutMode %d", static_cast<int>(layout));
 }
 
+const char *
+toToken(StateBackend backend)
+{
+    switch (backend) {
+      case StateBackend::Dense: return "dense";
+      case StateBackend::Paged: return "paged";
+      case StateBackend::Auto: return "auto";
+    }
+    fatal("unknown StateBackend %d", static_cast<int>(backend));
+}
+
 LookupMode
 lookupModeFromToken(const std::string &token)
 {
@@ -92,6 +104,29 @@ layoutModeFromToken(const std::string &token)
             return layout;
     }
     fatal("unknown layout '%s'", token.c_str());
+}
+
+StateBackend
+stateBackendFromToken(const std::string &token)
+{
+    for (const auto backend :
+         {StateBackend::Dense, StateBackend::Paged,
+          StateBackend::Auto}) {
+        if (token == toToken(backend))
+            return backend;
+    }
+    fatal("unknown state backend '%s'", token.c_str());
+}
+
+StorageMode
+resolveStorageMode(StateBackend backend, std::uint64_t slots)
+{
+    switch (backend) {
+      case StateBackend::Dense: return StorageMode::Dense;
+      case StateBackend::Paged: return StorageMode::Paged;
+      case StateBackend::Auto: return autoStorageMode(slots);
+    }
+    fatal("unknown StateBackend %d", static_cast<int>(backend));
 }
 
 } // namespace accord::dramcache

@@ -12,9 +12,15 @@
 #ifndef ACCORD_DRAMCACHE_ENUMS_HPP
 #define ACCORD_DRAMCACHE_ENUMS_HPP
 
+#include <cstdint>
 #include <string>
 
 #include "dramcache/layout.hpp"
+
+namespace accord
+{
+enum class StorageMode : std::uint8_t;
+} // namespace accord
 
 namespace accord::dramcache
 {
@@ -49,6 +55,19 @@ enum class L4Replacement
     Lru,
 };
 
+/**
+ * Backend for per-set cache state (tag store, predictor tables, LRU
+ * stamps) — see common/paged_table.hpp.  Auto resolves by geometry:
+ * dense below the paged-storage threshold, paged above it, so 1/128
+ * bench runs stay dense while full-gigascale runs page lazily.
+ */
+enum class StateBackend
+{
+    Dense,  ///< eager dense vectors (the historical representation)
+    Paged,  ///< lazily-materialized fixed-size pages
+    Auto,   ///< pick by table size (autoStorageMode)
+};
+
 /** Canonical token ("serial", "parallel", "predicted", "ideal"). */
 const char *toToken(LookupMode mode);
 
@@ -61,11 +80,19 @@ const char *toToken(L4Replacement repl);
 /** Canonical token ("row_co_located", "way_striped"). */
 const char *toToken(LayoutMode layout);
 
+/** Canonical token ("dense", "paged", "auto"). */
+const char *toToken(StateBackend backend);
+
 /** Inverse of toToken(); fatal() on an unknown token. */
 LookupMode lookupModeFromToken(const std::string &token);
 Organization organizationFromToken(const std::string &token);
 L4Replacement replacementFromToken(const std::string &token);
 LayoutMode layoutModeFromToken(const std::string &token);
+StateBackend stateBackendFromToken(const std::string &token);
+
+/** Concrete storage mode for a table of `slots` under `backend`. */
+StorageMode resolveStorageMode(StateBackend backend,
+                               std::uint64_t slots);
 
 } // namespace accord::dramcache
 

@@ -32,7 +32,10 @@ SetAssocOrg::SetAssocOrg(const OrgContext &ctx)
         ACCORD_ASSERT(!ctx_.policy,
                       "LRU replacement is the unsteered ablation; it "
                       "cannot be combined with a way policy");
-        lru_stamps.assign(ctx_.geom.lines(), 0);
+        lru_stamps.reset(ctx_.geom.lines(),
+                         resolveStorageMode(ctx_.params.stateBackend,
+                                            ctx_.geom.lines()),
+                         0);
     }
     if (ctx_.policy) {
         ACCORD_ASSERT(ctx_.policy->geometry().sets == ctx_.geom.sets
@@ -96,7 +99,7 @@ SetAssocOrg::unsteeredVictim(const core::LineRef &ref)
         if (!ctx_.tags.valid(ref.set, way))
             return way;
         const std::uint64_t stamp =
-            lru_stamps[ref.set * ctx_.geom.ways + way];
+            lru_stamps.read(ref.set * ctx_.geom.ways + way);
         if (stamp < best_stamp) {
             best_stamp = stamp;
             best = way;
@@ -111,7 +114,12 @@ SetAssocOrg::touchReplacement(const core::LineRef &ref, unsigned way,
 {
     if (ctx_.params.replacement != L4Replacement::Lru)
         return;
-    lru_stamps[ref.set * ctx_.geom.ways + way] = ++lru_clock;
+    // A hit implies the way was installed, so its stamp page is
+    // already resident; this never allocates on the hit path.
+    // accord-lint: allow(hot-paged-materialize) hit stamps touch
+    // already-resident pages
+    lru_stamps.materializeSlot(ref.set * ctx_.geom.ways + way)
+        = ++lru_clock;
     // The recency state lives in the DRAM array next to the tags:
     // updating it on a hit costs a line write (paper footnote 2).
     ctx_.stats.replacementUpdateWrites.inc();
@@ -135,8 +143,14 @@ SetAssocOrg::installLine(const core::LineRef &ref)
     const unsigned way = ctx_.policy ? ctx_.policy->install(ref)
                                      : unsteeredVictim(ref);
 
-    if (ctx_.params.replacement == L4Replacement::Lru)
-        lru_stamps[ref.set * ctx_.geom.ways + way] = ++lru_clock;
+    if (ctx_.params.replacement == L4Replacement::Lru) {
+        // Fill-side stamp write: materializes at most one page per
+        // page lifetime, amortized over the installs that land there.
+        // accord-lint: allow(hot-paged-materialize) install-side
+        // materialization is amortized
+        lru_stamps.materializeSlot(ref.set * ctx_.geom.ways + way)
+            = ++lru_clock;
+    }
 
     const TagStore::Victim victim =
         ctx_.tags.install(ref.set, way, ref.tag, false);
@@ -216,6 +230,12 @@ SetAssocOrg::auditFull(InvariantAuditor &auditor) const
         ctx_.policy->audit(auditor);
     }
     auditDcp(ctx_.dcp, ctx_.tags, auditor);
+}
+
+std::uint64_t
+SetAssocOrg::residentStateBytes() const
+{
+    return lru_stamps.residentBytes();
 }
 
 std::string

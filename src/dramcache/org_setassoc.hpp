@@ -12,8 +12,8 @@
 #define ACCORD_DRAMCACHE_ORG_SETASSOC_HPP
 
 #include <cstdint>
-#include <vector>
 
+#include "common/paged_table.hpp"
 #include "common/rng.hpp"
 #include "dramcache/organization.hpp"
 
@@ -42,6 +42,7 @@ class SetAssocOrg : public OrgStrategy
     void auditRange(InvariantAuditor &auditor, std::uint64_t firstSet,
                     std::uint64_t lastSet) const override;
     void auditFull(InvariantAuditor &auditor) const override;
+    std::uint64_t residentStateBytes() const override;
     std::string describe() const override;
 
     /** Array geometry for the given params (validates ways/sets). */
@@ -72,7 +73,7 @@ class SetAssocOrg : public OrgStrategy
     Rng install_rng;
 
     /** Per-line recency stamps for the LRU ablation (empty if unused). */
-    std::vector<std::uint64_t> lru_stamps;
+    PagedColumn<std::uint64_t> lru_stamps;
     std::uint64_t lru_clock = 0;
 };
 

@@ -168,6 +168,12 @@ class OrgStrategy
         auditRange(auditor, 0, ctx_.geom.sets);
     }
 
+    /**
+     * Host bytes backing organization-private per-set state beyond
+     * the shared tag store (e.g. the LRU-ablation recency stamps).
+     */
+    virtual std::uint64_t residentStateBytes() const { return 0; }
+
     /** Short human description ("dm", "2-way pws+gws predicted"). */
     virtual std::string describe() const = 0;
 

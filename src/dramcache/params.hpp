@@ -45,6 +45,14 @@ struct DramCacheParams
     /** Way placement in the array (row-co-located vs striped). */
     LayoutMode layout = LayoutMode::RowCoLocated;
 
+    /**
+     * Backend for the tag store and the other per-set state tables
+     * (common/paged_table.hpp).  Auto resolves per table by size, so
+     * results are identical across backends by construction and only
+     * the host memory footprint changes.
+     */
+    StateBackend stateBackend = StateBackend::Auto;
+
     std::uint64_t seed = 7;
 
     /**

@@ -5,17 +5,20 @@
 namespace accord::dramcache
 {
 
-TagStore::TagStore(const core::CacheGeometry &geom)
-    : geom(geom), tags(geom.lines(), 0), flags(geom.lines(), 0)
+TagStore::TagStore(const core::CacheGeometry &geom, StateBackend backend)
+    : geom(geom)
 {
+    const StorageMode mode = resolveStorageMode(backend, geom.lines());
+    tags.reset(geom.lines(), mode, 0);
+    flags.reset(geom.lines(), mode, 0);
 }
 
 int
 TagStore::findWay(std::uint64_t set, std::uint64_t tag) const
 {
     for (unsigned way = 0; way < geom.ways; ++way) {
-        const std::size_t i = index(set, way);
-        if ((flags[i] & flagValid) && tags[i] == tag)
+        const std::uint64_t i = index(set, way);
+        if ((flags.read(i) & flagValid) && tags.read(i) == tag)
             return static_cast<int>(way);
     }
     return -1;
@@ -26,19 +29,24 @@ TagStore::install(std::uint64_t set, unsigned way, std::uint64_t tag,
                   bool dirty)
 {
     ACCORD_ASSERT(way < geom.ways, "install way out of range");
-    const std::size_t i = index(set, way);
+    const std::uint64_t i = index(set, way);
+
+    // Materializes the slot's page on the first install into it —
+    // one allocation per page lifetime, amortized over the fills that
+    // land there, never on the read path.
+    std::uint8_t &flag_slot = flags.materializeSlot(i);
 
     Victim victim;
-    if (flags[i] & flagValid) {
+    if (flag_slot & flagValid) {
         victim.valid = true;
-        victim.dirty = (flags[i] & flagDirty) != 0;
-        victim.tag = tags[i];
+        victim.dirty = (flag_slot & flagDirty) != 0;
+        victim.tag = tags.read(i);
     } else {
         ++occupancy_;
     }
 
-    tags[i] = tag;
-    flags[i] = static_cast<std::uint8_t>(
+    tags.write(i, tag);
+    flag_slot = static_cast<std::uint8_t>(
         flagValid | (dirty ? flagDirty : 0));
     return victim;
 }
@@ -46,18 +54,23 @@ TagStore::install(std::uint64_t set, unsigned way, std::uint64_t tag,
 void
 TagStore::markDirty(std::uint64_t set, unsigned way)
 {
-    const std::size_t i = index(set, way);
-    ACCORD_ASSERT(flags[i] & flagValid, "markDirty on invalid way");
-    flags[i] |= flagDirty;
+    const std::uint64_t i = index(set, way);
+    std::uint8_t &flag_slot = flags.materializeSlot(i);
+    ACCORD_ASSERT(flag_slot & flagValid, "markDirty on invalid way");
+    flag_slot |= flagDirty;
 }
 
 void
 TagStore::invalidate(std::uint64_t set, unsigned way)
 {
-    const std::size_t i = index(set, way);
-    if (flags[i] & flagValid)
+    const std::uint64_t i = index(set, way);
+    // A never-written slot is already invalid; leave its page cold.
+    if (flags.read(i) == 0)
+        return;
+    std::uint8_t &flag_slot = flags.materializeSlot(i);
+    if (flag_slot & flagValid)
         --occupancy_;
-    flags[i] = 0;
+    flag_slot = 0;
 }
 
 std::uint64_t

@@ -6,16 +6,22 @@
  * data (KNL-style, Section II-A), so every tag check costs a DRAM line
  * transfer — the timing side charges those.  This class is the
  * simulator's functional mirror of that in-DRAM state.
+ *
+ * Storage is a struct-of-arrays pair of PagedColumn columns (tags and
+ * flags) behind the StateBackend knob: dense for bench-scale runs,
+ * lazily-paged for gigascale ones.  Untouched slots read as invalid in
+ * both backends, so results are byte-identical across them.
  */
 
 #ifndef ACCORD_DRAMCACHE_TAG_STORE_HPP
 #define ACCORD_DRAMCACHE_TAG_STORE_HPP
 
 #include <cstdint>
-#include <vector>
 
 #include "common/log.hpp"
+#include "common/paged_table.hpp"
 #include "core/way_policy.hpp"
+#include "dramcache/enums.hpp"
 
 namespace accord::dramcache
 {
@@ -32,17 +38,18 @@ class TagStore
         std::uint64_t tag = 0;
     };
 
-    explicit TagStore(const core::CacheGeometry &geom);
+    explicit TagStore(const core::CacheGeometry &geom,
+                      StateBackend backend = StateBackend::Auto);
 
     /** Way holding the tag in the set, or -1 if absent. */
     int findWay(std::uint64_t set, std::uint64_t tag) const;
 
     bool valid(std::uint64_t set, unsigned way) const
-        { return (flags[index(set, way)] & flagValid) != 0; }
+        { return (flags.read(index(set, way)) & flagValid) != 0; }
     bool dirty(std::uint64_t set, unsigned way) const
-        { return (flags[index(set, way)] & flagDirty) != 0; }
+        { return (flags.read(index(set, way)) & flagDirty) != 0; }
     std::uint64_t tag(std::uint64_t set, unsigned way) const
-        { return tags[index(set, way)]; }
+        { return tags.read(index(set, way)); }
 
     /** Install a tag into a way, returning the displaced victim. */
     Victim install(std::uint64_t set, unsigned way, std::uint64_t tag,
@@ -59,6 +66,27 @@ class TagStore
 
     const core::CacheGeometry &geometry() const { return geom; }
 
+    /** Storage mode the backend knob resolved to. */
+    StorageMode storageMode() const { return flags.mode(); }
+
+    /** Host bytes currently backing the tag/flag columns. */
+    std::uint64_t
+    residentStateBytes() const
+    {
+        return tags.residentBytes() + flags.residentBytes();
+    }
+
+    /**
+     * True unless every slot of the set is on a never-written page
+     * (then all its ways read invalid).  Audit sweeps skip such sets.
+     */
+    bool
+    setPossiblyOccupied(std::uint64_t set) const
+    {
+        const std::uint64_t first = set * geom.ways;
+        return flags.nextResidentSlot(first) < first + geom.ways;
+    }
+
     /** Reconstruct the full line address stored in a way. */
     LineAddr
     lineAt(std::uint64_t set, unsigned way) const
@@ -70,7 +98,7 @@ class TagStore
     static constexpr std::uint8_t flagValid = 1;
     static constexpr std::uint8_t flagDirty = 2;
 
-    std::size_t
+    std::uint64_t
     index(std::uint64_t set, unsigned way) const
     {
         ACCORD_CHECK(set < geom.sets && way < geom.ways,
@@ -78,12 +106,12 @@ class TagStore
                      static_cast<unsigned long long>(set), way,
                      static_cast<unsigned long long>(geom.sets),
                      geom.ways);
-        return static_cast<std::size_t>(set * geom.ways + way);
+        return set * geom.ways + way;
     }
 
     core::CacheGeometry geom;
-    std::vector<std::uint64_t> tags;
-    std::vector<std::uint8_t> flags;
+    PagedColumn<std::uint64_t> tags;
+    PagedColumn<std::uint8_t> flags;
     std::uint64_t occupancy_ = 0;
 };
 

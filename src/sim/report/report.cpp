@@ -216,6 +216,13 @@ RunReport::addRunValue(const std::string &run, const std::string &key,
 }
 
 void
+RunReport::addRunHostValue(const std::string &run,
+                           const std::string &key, double value)
+{
+    runs_[run].host[key] = value;
+}
+
+void
 RunReport::addRunSeries(const std::string &run,
                         const MetricSeries &series)
 {
@@ -261,6 +268,15 @@ RunReport::toJson() const
         for (const auto &[path, value] : run.metrics)
             json.key(path).value(value);
         json.endObject();
+        // Volatile partition: compare_reports.py diffs only
+        // spec/metrics/epochs, so host values never participate in
+        // the byte-identity gate.
+        if (!run.host.empty()) {
+            json.key("host").beginObject();
+            for (const auto &[key, value] : run.host)
+                json.key(key).value(value);
+            json.endObject();
+        }
         if (!run.epochs.empty()) {
             json.key("epochs").beginObject();
             json.key("positions").beginArray();

@@ -135,6 +135,18 @@ class RunReport
     void addRunValue(const std::string &run, const std::string &key,
                      double value);
 
+    /**
+     * Add/overwrite a volatile host-side observation for one run
+     * (resident state bytes, peak RSS, ...).  Host values serialize
+     * into a separate "host" object — never into "metrics" — so the
+     * canonical comparison surface (spec/metrics/epochs, what
+     * tools/compare_reports.py diffs) stays byte-identical no matter
+     * what the host happened to measure.  Emitted only when non-empty,
+     * so reports that record no host values keep their exact bytes.
+     */
+    void addRunHostValue(const std::string &run, const std::string &key,
+                         double value);
+
     /** Record one run's epoch time-series. */
     void addRunSeries(const std::string &run,
                       const MetricSeries &series);
@@ -156,6 +168,7 @@ class RunReport
     {
         std::string spec;
         std::map<std::string, double> metrics;
+        std::map<std::string, double> host;
         MetricSeries epochs;
     };
 

@@ -27,6 +27,7 @@ System::System(const SystemConfig &config) : config_(config)
     cache_params.dcpWayBits = config_.dcpWayBits;
     cache_params.replacement = config_.replacement;
     cache_params.layout = config_.layout;
+    cache_params.stateBackend = config_.stateBackend;
     cache_params.seed = config_.seed * 0x9e3779b9ULL + 0x7;
 
     std::unique_ptr<core::WayPolicy> policy;
@@ -36,6 +37,12 @@ System::System(const SystemConfig &config) : config_(config)
         geom.sets = cache_params.capacityBytes / lineSize / config_.ways;
         core::PolicyOptions opts = config_.policyOpts;
         opts.seed = mix64(config_.seed ^ 0xacc0d);
+        // Auto stays nullopt so each policy table resolves by its own
+        // size; an explicit backend forces every table.
+        if (config_.stateBackend != dramcache::StateBackend::Auto) {
+            opts.storage = dramcache::resolveStorageMode(
+                config_.stateBackend, geom.lines());
+        }
         policy = core::makePolicy(config_.policySpec, geom, opts);
     }
 
@@ -264,6 +271,7 @@ System::telemetrySample(const char *phase, std::uint64_t position) const
     s.eqOverflowSpills = eq.overflowSpills();
     s.poolLive = cache_->txnPool().live();
     s.poolBlockBytes = cache_->txnPool().blockSize();
+    s.stateBytes = cache_->residentStateBytes();
     return s;
 }
 
@@ -397,6 +405,7 @@ System::run()
     m.nvmStats = nvm->aggregateStats();
     if (cache_->policy())
         m.policyStorageBits = cache_->policy()->storageBits();
+    m.residentStateBytes = cache_->residentStateBytes();
     m.finalMetrics = registry_.snapshot();
     m.epochs = epoch_series_;
 

@@ -33,49 +33,6 @@
 namespace accord::trace
 {
 
-/**
- * Produces a stream of demand line addresses.
- *
- * DEPRECATED (removal next PR): the pull-only LineAddr interface
- * predates TrafficSource and cannot carry request kind, class, or
- * position.  New code implements TrafficSource; existing generators
- * already have.  LegacyGeneratorSource adapts a leftover implementation
- * during the transition.
- */
-class AccessGenerator
-{
-  public:
-    virtual ~AccessGenerator() = default;
-
-    /** Next demand line address. */
-    virtual LineAddr next() = 0;
-};
-
-/**
- * Adapter exposing a deprecated AccessGenerator as a TrafficSource
- * (demand-only, unbounded).  Transitional shim — one PR only.
- */
-class LegacyGeneratorSource final : public TrafficSource
-{
-  public:
-    explicit LegacyGeneratorSource(AccessGenerator &gen) : gen_(gen) {}
-
-    Request
-    next() override
-    {
-        Request req;
-        req.line = gen_.next();
-        req.position = position_++;
-        return req;
-    }
-
-    std::string describe() const override { return "legacy-generator"; }
-
-  private:
-    AccessGenerator &gen_;
-    std::uint64_t position_ = 0;
-};
-
 /** Physical region space the hashed layout maps into (128 GB / 4KB). */
 inline constexpr std::uint64_t physRegionSpace = 1ULL << 25;
 

@@ -350,24 +350,16 @@ TEST(RegistryDeath, UnknownNameAndOptionAreFatal)
                 ::testing::ExitedWithCode(1), "file");
 }
 
-TEST(Legacy, GeneratorSourceAdaptsAccessGenerator)
+TEST(Registry, SyntheticSourceEmitsDemandStreamWithPositions)
 {
-    /** Minimal AccessGenerator covering the deprecated-shim path. */
-    class Counter final : public AccessGenerator
-    {
-      public:
-        LineAddr next() override { return next_++; }
-
-      private:
-        LineAddr next_ = 100;
-    };
-
-    Counter counter;
-    LegacyGeneratorSource src(counter);
-    EXPECT_FALSE(src.bounded());
-    const Request first = src.next();
-    EXPECT_EQ(first.line, 100u);
+    // The registry path is the only way to build traffic sources now
+    // (the pre-PR-8 AccessGenerator shim is gone): an unbounded
+    // demand stream with monotonically increasing positions.
+    const auto src = makeTrafficSource("synthetic", libqContext());
+    EXPECT_FALSE(src->bounded());
+    const Request first = src->next();
     EXPECT_EQ(first.kind, core::RequestKind::Demand);
     EXPECT_EQ(first.position, 0u);
-    EXPECT_EQ(src.next().position, 1u);
+    EXPECT_EQ(src->next().position, 1u);
+    EXPECT_EQ(src->next().position, 2u);
 }

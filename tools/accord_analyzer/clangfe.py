@@ -142,6 +142,9 @@ class _FnVisitor:
                     self._op("alloc", line, f"std::{name}")
                 elif name == "to_string":
                     self._op("string", line, "std::to_string")
+                elif name in portable.PAGED_MATERIALIZE_IDS:
+                    self._op("paged-materialize", line,
+                             f"page materialization via {name}()")
                 self._check_virtual(child, line)
                 self.visit(child, call_stack + (child,))
                 continue

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 # Rule names (the annotation grammar's vocabulary)
 # ---------------------------------------------------------------------
 
-HOT_RULES = ("hot-alloc", "hot-std-function", "hot-string", "hot-virtual")
+HOT_RULES = ("hot-alloc", "hot-std-function", "hot-string", "hot-virtual",
+             "hot-paged-materialize")
 DETERMINISM_RULES = ("unordered-iteration", "pointer-key", "wallclock",
                      "rand", "random-device", "std-engine")
 METRIC_RULES = ("metric-unregistered", "metric-duplicate-path")
@@ -41,6 +42,7 @@ OP_RULE = {
     "std-function": "hot-std-function",
     "string": "hot-string",
     "virtual-call": "hot-virtual",
+    "paged-materialize": "hot-paged-materialize",
     "unordered-iteration": "unordered-iteration",
     "pointer-key": "pointer-key",
     "wallclock": "wallclock",

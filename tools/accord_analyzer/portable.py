@@ -31,6 +31,10 @@ from model import (ALWAYS_CHECKED_STRUCTS, ClassInfo, FunctionInfo, Model,
 ALLOC_FUNCS = {"malloc", "calloc", "realloc", "strdup", "aligned_alloc",
                "posix_memalign"}
 ALLOC_MAKERS = {"make_unique", "make_shared"}
+# The paged storage layer's allocation seams (common/paged_table.hpp):
+# calling either from an ACCORD_HOT function puts page materialization
+# on the timed read path.
+PAGED_MATERIALIZE_IDS = {"materializeSlot", "ensurePage"}
 WALLCLOCK_IDS = {"steady_clock", "system_clock", "high_resolution_clock",
                  "clock_gettime", "gettimeofday"}
 RAND_IDS = {"rand", "srand"}
@@ -806,6 +810,10 @@ class BodyWalker:
             elif v == "to_string" and nxt is not None \
                     and nxt.value == "(":
                 self._op("string", t.line, "std::to_string")
+            elif v in PAGED_MATERIALIZE_IDS and nxt is not None \
+                    and nxt.value == "(":
+                self._op("paged-materialize", t.line,
+                         f"page materialization via {v}()")
             elif t.kind == "id" and nxt is not None \
                     and nxt.value == "(" and prev is not None \
                     and prev.value in ("->", "."):

@@ -20,11 +20,20 @@ RNG_EXEMPT_RULES = {"wallclock", "rand", "random-device", "std-engine"}
 # telemetry-sounding file elsewhere gets no pass.
 TELEMETRY_EXEMPT_RULES = {"wallclock"}
 
-_HOT_OP_KINDS = ("alloc", "std-function", "string", "virtual-call")
+_HOT_OP_KINDS = ("alloc", "std-function", "string", "virtual-call",
+                 "paged-materialize")
 
 
 def _is_rng_impl(path):
     return path.replace("\\", "/").endswith("/rng.hpp")
+
+
+# src/common/paged_table.hpp IS the storage backend: its own methods
+# are the sanctioned materializeSlot/ensurePage seam, so the
+# hot-paged-materialize ban cannot apply inside it.  Path-scoped like
+# the rng exemption — a caller elsewhere gets no pass.
+def _is_paged_seam(path):
+    return path.replace("\\", "/").endswith("/paged_table.hpp")
 
 
 def _is_telemetry_impl(path):
@@ -78,6 +87,9 @@ def _hot_findings(model, scope):
 
         for op in fn.ops:
             if op.kind not in _HOT_OP_KINDS or op.suppressed:
+                continue
+            if op.kind == "paged-materialize" \
+                    and _is_paged_seam(fn.file):
                 continue
             findings.append(Finding(OP_RULE[op.kind], fn.file,
                                     fn.context(), op.detail, op.line))

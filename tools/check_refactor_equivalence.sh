@@ -8,6 +8,12 @@
 # rng draw, a miscounted transfer, a jobs-dependent reduction — fails
 # this gate byte-for-byte.
 #
+# On top of the auto-backend legs, each sweep bench also runs with the
+# state backend forced to dense and to paged.  Both must match the
+# same baseline at zero tolerance — the only permitted difference is
+# the state_backend= spec token itself (--ignore-spec-key), which
+# proves the storage layer changes host footprint and nothing else.
+#
 # Usage: tools/check_refactor_equivalence.sh [build-dir]
 set -euo pipefail
 
@@ -20,8 +26,9 @@ mkdir -p "$WORKDIR"
 status=0
 check() {
     local baseline="$1" out="$2" label="$3"
+    shift 3
     if python3 "$ROOT/tools/compare_reports.py" --rtol 0 --atol 0 \
-        "$baseline" "$out"; then
+        "$@" "$baseline" "$out"; then
         echo "OK   $label"
     else
         echo "FAIL $label"
@@ -45,6 +52,15 @@ for baseline in "$BASELINES"/*.json; do
             measure=4000 timed=1500 jobs="$jobs" --json="$out" \
             > /dev/null
         check "$baseline" "$out" "$name jobs=$jobs"
+        for backend in dense paged; do
+            out="$WORKDIR/$name.j$jobs.$backend.json"
+            "$BUILD/bench/$name" scale=4096 cores=2 warm=2000 \
+                measure=4000 timed=1500 jobs="$jobs" \
+                state_backend="$backend" --json="$out" > /dev/null
+            check "$baseline" "$out" \
+                "$name jobs=$jobs state_backend=$backend" \
+                --ignore-spec-key state_backend
+        done
     done
 done
 exit $status

@@ -35,6 +35,7 @@ GAUGE_KEYS = {
     "phase", "position", "cycles", "reads", "read_hits", "hit_rate",
     "eq_pending", "eq_executed", "eq_occupancy_peak",
     "eq_overflow_spills", "pool_live", "pool_block_bytes",
+    "state_bytes",
 }
 KNOWN_KEYS = {
     "hdr": {"t", "schema", "units", "interval", "total_units", "spec",
